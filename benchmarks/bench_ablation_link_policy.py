@@ -1,0 +1,33 @@
+"""Section 5.2 ablation: the boundary-pattern MIDAS link policy.
+
+Compares skyline processing with the original (random) link targets
+against the optimized policy that aims links at boundary-pattern peers.
+The paper motivates the optimization by reduced message overhead; the
+benchmark reports both policies' traffic so the effect is visible in the
+extra_info columns.
+"""
+
+import pytest
+
+from repro.queries.skyline import distributed_skyline, skyline_reference
+
+from .conftest import attach
+
+
+@pytest.mark.parametrize("mode", ("fast", "slow"))
+@pytest.mark.parametrize("policy", ("random", "boundary"))
+def test_ablation_link_policy(benchmark, overlays, config, rng, policy,
+                              mode):
+    data = overlays.nba_min()
+    overlay = overlays.midas_for(data, "nba_min", config.default_size,
+                                 link_policy=policy)
+    reference = skyline_reference(data)
+    r = 0 if mode == "fast" else 10 ** 9
+
+    def run():
+        return distributed_skyline(overlay.random_peer(rng), data.shape[1],
+                                   restriction=overlay.domain(), r=r)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.answer == reference
+    attach(benchmark, result)

@@ -1,0 +1,39 @@
+"""Extra: the Section 1 strawman — naive broadcast vs RIPPLE.
+
+The introduction's motivating comparison: broadcasting a top-k query to
+the entire network is latency-optimal but touches every peer and ships
+unprunable tuples; RIPPLE's seeded parallel mode answers the same query
+exactly while processing a fraction of the network.
+"""
+
+import pytest
+
+from repro.baselines.naive import broadcast_query
+from repro.common.scoring import LinearScore
+from repro.queries.topk import TopKHandler, distributed_topk, topk_reference
+
+from .conftest import attach
+
+
+@pytest.mark.parametrize("method", ("broadcast", "ripple-fast"))
+def test_extra_naive_vs_ripple(benchmark, overlays, config, rng, method):
+    data = overlays.nba_raw()
+    overlay = overlays.midas_for(data, "nba_raw", config.default_size)
+    fn = LinearScore([1.0] * data.shape[1])
+    reference = [s for s, _ in topk_reference(data, fn, config.default_k)]
+
+    if method == "broadcast":
+        def run():
+            return broadcast_query(overlay.random_peer(rng),
+                                   TopKHandler(fn, config.default_k))
+    else:
+        def run():
+            return distributed_topk(overlay.random_peer(rng), fn,
+                                    config.default_k,
+                                    restriction=overlay.domain(), r=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert [s for s, _ in result.answer] == reference
+    attach(benchmark, result)
+    if method == "broadcast":
+        assert result.stats.processed == len(overlay)

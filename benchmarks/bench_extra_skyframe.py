@@ -1,0 +1,28 @@
+"""Extra competitor: Skyframe (border peers over CAN, Section 2.2).
+
+Not part of the paper's measured figures (the paper compares RIPPLE
+against DSL and SSP only), included for completeness of the related-work
+landscape: Skyframe's border-peer fan-out sits between SSP's pruning and
+a flood.
+"""
+
+import pytest
+
+from repro.baselines.skyframe import skyframe_skyline
+from repro.queries.skyline import skyline_reference
+
+from .conftest import attach
+
+
+@pytest.mark.parametrize("size", (2 ** 7, 2 ** 9))
+def test_extra_skyframe(benchmark, overlays, config, rng, size):
+    data = overlays.nba_min()
+    overlay = overlays.can_for(data, "nba_min", size)
+    reference = skyline_reference(data)
+
+    def run():
+        return skyframe_skyline(overlay, overlay.random_peer(rng))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.answer == reference
+    attach(benchmark, result)

@@ -1,0 +1,39 @@
+"""Extra: the vertical top-k lineage (Section 2.1 background).
+
+Not a figure of the paper — RIPPLE targets horizontal partitionings —
+but the related-work algorithms are implemented and this bench records
+their classical cost profile: TA beats FA on accesses, TPUT trades
+accesses for a fixed three round-trips, KLEE approximates in two.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vertical import (VerticalNetwork, fagin, klee,
+                            threshold_algorithm, tput)
+
+ALGORITHMS = {"fa": fagin, "ta": threshold_algorithm, "tput": tput,
+              "klee": klee}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return np.random.default_rng(5).random((20_000, 4))
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_extra_vertical(benchmark, matrix, name):
+    algorithm = ALGORITHMS[name]
+
+    def run():
+        return algorithm(VerticalNetwork(matrix), 10)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    stats = result.stats
+    benchmark.extra_info["sorted_accesses"] = stats.sorted_accesses
+    benchmark.extra_info["random_accesses"] = stats.random_accesses
+    benchmark.extra_info["rounds"] = stats.rounds
+    if name != "klee":
+        reference = VerticalNetwork(matrix).reference_topk(10, [1] * 4)
+        assert [s for s, _ in result.answer] == pytest.approx(
+            [s for s, _ in reference])

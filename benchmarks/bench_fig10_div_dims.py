@@ -1,0 +1,31 @@
+"""Figure 10: k-diversification vs dimensionality (SYNTH data).
+
+Expected shape (Section 7.2.3): the baseline's cost improves somewhat
+with dimensionality (denser CAN routing), RIPPLE stays well below it in
+congestion throughout.
+"""
+
+import pytest
+
+from repro.queries.diversify import DiversificationObjective, greedy_diversify
+
+from .conftest import attach
+from .bench_fig9_div_scale import METHODS, make_engine
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("dims", (3, 6))
+def test_fig10_div_dims(benchmark, overlays, config, rng, dims, method):
+    data = overlays.synth(dims)
+    objective = DiversificationObjective(data[17], config.default_lambda,
+                                         p=1)
+    engine = make_engine(method, overlays, data, f"synth{dims}",
+                         2 ** 6, rng)
+
+    def run():
+        return greedy_diversify(engine, objective, config.div_k,
+                                max_iters=config.div_max_iters)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.answer[0]) == config.div_k
+    attach(benchmark, result)

@@ -1,0 +1,30 @@
+"""Figure 11: k-diversification vs result size k (MIRFLICKR-like data).
+
+Expected shape (Section 7.2.3): costs grow with k overall, but the
+shrinking search area (k - 1 restrictions) dampens the growth for
+ripple-fast.
+"""
+
+import pytest
+
+from repro.queries.diversify import DiversificationObjective, greedy_diversify
+
+from .conftest import attach
+from .bench_fig9_div_scale import METHODS, make_engine
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", (5, 15))
+def test_fig11_div_k(benchmark, overlays, config, rng, k, method):
+    data = overlays.mirflickr()
+    objective = DiversificationObjective(data[99], config.default_lambda,
+                                         p=1)
+    engine = make_engine(method, overlays, data, "mir", 2 ** 6, rng)
+
+    def run():
+        return greedy_diversify(engine, objective, k,
+                                max_iters=config.div_max_iters)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.answer[0]) == k
+    attach(benchmark, result)

@@ -1,0 +1,29 @@
+"""Figure 12: k-diversification vs the relevance/diversity weight lambda.
+
+Expected shape (Section 7.2.3): cost peaks at intermediate lambda and
+drops toward both extremes — near 0 or 1 the search confines itself to
+small parts of the domain (borders resp. the query's vicinity).
+"""
+
+import pytest
+
+from repro.queries.diversify import DiversificationObjective, greedy_diversify
+
+from .conftest import attach
+from .bench_fig9_div_scale import METHODS, make_engine
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("lam", (0.1, 0.5, 0.9))
+def test_fig12_div_lambda(benchmark, overlays, config, rng, lam, method):
+    data = overlays.mirflickr()
+    objective = DiversificationObjective(data[512], lam, p=1)
+    engine = make_engine(method, overlays, data, "mir", 2 ** 6, rng)
+
+    def run():
+        return greedy_diversify(engine, objective, config.div_k,
+                                max_iters=config.div_max_iters)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.answer[0]) == config.div_k
+    attach(benchmark, result)

@@ -1,0 +1,39 @@
+"""Figure 4: top-k latency/congestion vs overlay size (NBA-like data).
+
+Series: ripple parameter r in {0, D/3, 2D/3, D} over MIDAS networks of
+increasing size.  Expected shape (Section 7.2.1): latency grows with r
+and stays polylogarithmic in n; congestion shrinks with r.
+"""
+
+import pytest
+
+from repro.common.scoring import LinearScore
+from repro.queries.topk import distributed_topk, topk_reference
+
+from .conftest import attach
+
+LEVELS = ("r=0", "r=D/3", "r=2D/3", "r=D")
+
+
+def _resolve(level: str, delta: int) -> int:
+    return {"r=0": 0, "r=D/3": max(1, delta // 3),
+            "r=2D/3": max(2, 2 * delta // 3), "r=D": delta}[level]
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("size", (2 ** 7, 2 ** 9))
+def test_fig4_topk_scale(benchmark, overlays, config, rng, size, level):
+    data = overlays.nba_raw()
+    overlay = overlays.midas_for(data, "nba_raw", size)
+    fn = LinearScore([1.0] * data.shape[1])
+    reference = [s for s, _ in topk_reference(data, fn, config.default_k)]
+    r = _resolve(level, overlay.max_links())
+
+    def run():
+        return distributed_topk(overlay.random_peer(rng), fn,
+                                config.default_k,
+                                restriction=overlay.domain(), r=r)
+
+    result = benchmark(run)
+    assert [s for s, _ in result.answer] == reference
+    attach(benchmark, result)

@@ -1,0 +1,33 @@
+"""Figure 5: top-k performance vs dimensionality (SYNTH data).
+
+Expected shape (Section 7.2.1): dimensionality affects performance only
+slightly — the overlay structure, not the zone dimensionality, drives
+cost.
+"""
+
+import pytest
+
+from repro.common.scoring import LinearScore
+from repro.queries.topk import distributed_topk, topk_reference
+
+from .conftest import attach
+from .bench_fig4_topk_scale import LEVELS, _resolve
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("dims", (3, 6))
+def test_fig5_topk_dims(benchmark, overlays, config, rng, dims, level):
+    data = overlays.synth(dims)
+    overlay = overlays.midas_for(data, f"synth{dims}", config.default_size)
+    fn = LinearScore([1.0] * dims)
+    reference = [s for s, _ in topk_reference(data, fn, config.default_k)]
+    r = _resolve(level, overlay.max_links())
+
+    def run():
+        return distributed_topk(overlay.random_peer(rng), fn,
+                                config.default_k,
+                                restriction=overlay.domain(), r=r)
+
+    result = benchmark(run)
+    assert [s for s, _ in result.answer] == reference
+    attach(benchmark, result)

@@ -1,0 +1,31 @@
+"""Figure 6: top-k performance vs result size k (NBA-like data).
+
+Expected shape (Section 7.2.1): both latency and congestion grow with k,
+as more peers hold contributing tuples.
+"""
+
+import pytest
+
+from repro.common.scoring import LinearScore
+from repro.queries.topk import distributed_topk, topk_reference
+
+from .conftest import attach
+from .bench_fig4_topk_scale import LEVELS, _resolve
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("k", (10, 40))
+def test_fig6_topk_k(benchmark, overlays, config, rng, k, level):
+    data = overlays.nba_raw()
+    overlay = overlays.midas_for(data, "nba_raw", config.default_size)
+    fn = LinearScore([1.0] * data.shape[1])
+    reference = [s for s, _ in topk_reference(data, fn, k)]
+    r = _resolve(level, overlay.max_links())
+
+    def run():
+        return distributed_topk(overlay.random_peer(rng), fn, k,
+                                restriction=overlay.domain(), r=r)
+
+    result = benchmark(run)
+    assert [s for s, _ in result.answer] == reference
+    attach(benchmark, result)

@@ -1,0 +1,42 @@
+"""Figure 7: skyline computation vs overlay size (NBA-like data).
+
+Methods: ripple-fast and ripple-slow over MIDAS (Section 5.2 boundary
+links), DSL over CAN, SSP over BATON.  Expected shape (Section 7.2.2):
+ripple-fast has the lowest latency, ripple-slow the lowest traffic; DSL
+is slowest at low dimensionality.
+"""
+
+import pytest
+
+from repro.baselines.dsl import dsl_skyline
+from repro.baselines.ssp import ssp_skyline
+from repro.queries.skyline import distributed_skyline, skyline_reference
+
+from .conftest import attach
+
+METHODS = ("ripple-fast", "ripple-slow", "dsl", "ssp")
+
+
+def make_runner(method, overlays, data, tag, size, rng):
+    dims = data.shape[1]
+    if method in ("ripple-fast", "ripple-slow"):
+        overlay = overlays.midas_for(data, tag, size, link_policy="boundary")
+        r = 0 if method == "ripple-fast" else 10 ** 9
+        return lambda: distributed_skyline(overlay.random_peer(rng), dims,
+                                           restriction=overlay.domain(), r=r)
+    if method == "dsl":
+        overlay = overlays.can_for(data, tag, size)
+        return lambda: dsl_skyline(overlay, overlay.random_peer(rng))
+    overlay = overlays.baton_for(data, tag, size)
+    return lambda: ssp_skyline(overlay, overlay.random_peer(rng))
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("size", (2 ** 7, 2 ** 9))
+def test_fig7_skyline_scale(benchmark, overlays, config, rng, size, method):
+    data = overlays.nba_min()
+    reference = skyline_reference(data)
+    run = make_runner(method, overlays, data, "nba_min", size, rng)
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.answer == reference
+    attach(benchmark, result)

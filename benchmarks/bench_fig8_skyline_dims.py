@@ -1,0 +1,25 @@
+"""Figure 8: skyline computation vs dimensionality (SYNTH data).
+
+Expected shape (Section 7.2.2): costs grow with dimensionality for all
+methods (larger skylines); DSL benefits from denser CAN neighborhoods as
+dimensionality rises, while SSP suffers from Z-curve false positives.
+"""
+
+import pytest
+
+from repro.queries.skyline import skyline_reference
+
+from .conftest import attach
+from .bench_fig7_skyline_scale import METHODS, make_runner
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("dims", (3, 6))
+def test_fig8_skyline_dims(benchmark, overlays, config, rng, dims, method):
+    data = overlays.synth(dims)
+    reference = skyline_reference(data)
+    run = make_runner(method, overlays, data, f"synth{dims}",
+                      config.default_size, rng)
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.answer == reference
+    attach(benchmark, result)

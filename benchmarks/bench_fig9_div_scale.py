@@ -1,0 +1,46 @@
+"""Figure 9: k-diversification vs overlay size (MIRFLICKR-like data).
+
+Methods: the RIPPLE-based greedy algorithm at both extremes over MIDAS,
+and the CAN-flooding adaptation of incremental diversification.  All
+three are forced through the same greedy driver, so they produce the same
+result sets; the benchmark asserts it.  Expected shape (Section 7.2.3):
+latency ripple-slow > baseline > ripple-fast; congestion baseline highest.
+"""
+
+import pytest
+
+from repro.baselines.div_baseline import FloodingDiversifier
+from repro.queries.diversify import (DiversificationObjective,
+                                     RippleDiversifier, greedy_diversify)
+
+from .conftest import attach
+
+METHODS = ("ripple-fast", "ripple-slow", "baseline")
+
+
+def make_engine(method, overlays, data, tag, size, rng):
+    if method == "baseline":
+        overlay = overlays.can_for(data, tag, size)
+        return FloodingDiversifier(overlay, overlay.random_peer(rng))
+    overlay = overlays.midas_for(data, tag, size)
+    r = 0 if method == "ripple-fast" else 10 ** 9
+    return RippleDiversifier(overlay, overlay.random_peer(rng), r=r)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("size", (2 ** 5, 2 ** 7))
+def test_fig9_div_scale(benchmark, overlays, config, rng, size, method):
+    data = overlays.mirflickr()
+    objective = DiversificationObjective(data[17], config.default_lambda,
+                                         p=1)
+    engine = make_engine(method, overlays, data, "mir", size, rng)
+
+    def run():
+        return greedy_diversify(engine, objective, config.div_k,
+                                max_iters=config.div_max_iters)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    members, value = result.answer
+    assert len(members) == config.div_k
+    benchmark.extra_info["objective_f"] = value
+    attach(benchmark, result)

@@ -1,0 +1,39 @@
+"""Section 3.2: worst-case latency of the three algorithms over MIDAS.
+
+Runs never-pruning queries on complete overlays and asserts the measured
+critical-path latency equals Lemma 1 (fast), Lemma 2 (slow) and Lemma 3
+(ripple) exactly; the benchmark time measures the simulator's full-network
+traversal.
+"""
+
+import pytest
+
+from repro.common.scoring import LinearScore
+from repro.core.analysis import fast_latency, ripple_latency, slow_latency
+from repro.core.framework import SLOW, run_ripple
+from repro.overlays.midas import MidasOverlay
+from repro.queries.topk import TopKHandler
+
+from .conftest import attach
+
+CASES = [("fast", 0, fast_latency),
+         ("ripple-r1", 1, lambda depth: ripple_latency(depth, 1)),
+         ("ripple-r2", 2, lambda depth: ripple_latency(depth, 2)),
+         ("slow", SLOW, slow_latency)]
+
+
+@pytest.mark.parametrize("name,r,formula", CASES,
+                         ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("depth", (5, 7))
+def test_lemma_latency(benchmark, depth, name, r, formula):
+    overlay = MidasOverlay.complete(2, depth, seed=0)
+    handler = TopKHandler(LinearScore([1.0, 1.0]), 10 ** 9)
+
+    def run():
+        return run_ripple(overlay.peers()[0], handler, r,
+                          restriction=overlay.domain())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.processed == 2 ** depth
+    assert result.stats.latency == formula(depth)
+    attach(benchmark, result)

@@ -1,0 +1,116 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's experiment index).  The wall-clock numbers produced by
+pytest-benchmark measure the *simulator*; the paper's metrics — latency in
+hops and congestion in peers — are attached to every benchmark as
+``extra_info`` and printed in the summary line, so a benchmark run doubles
+as a small-scale regeneration of the figure's series.
+
+Benchmarks run at a reduced scale (networks of 2^6-2^10 peers); use
+``python -m repro.experiments <figN> --scale default`` for the
+EXPERIMENTS.md-scale series and ``--scale paper`` for the full Table 1
+grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import builders
+from repro.experiments.config import ExperimentConfig
+
+
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        sizes=(2 ** 7, 2 ** 9),
+        dims=(3, 6),
+        ks=(10, 40),
+        lambdas=(0.1, 0.5, 0.9),
+        default_size=2 ** 8,
+        nba_tuples=8_000,
+        synth_tuples=8_000,
+        mirflickr_tuples=4_000,
+        synth_clusters=400,
+        queries=3,
+        network_seeds=(7,),
+        div_sizes=(2 ** 5, 2 ** 7),
+        div_queries=1,
+        div_k=8,
+        div_max_iters=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+class OverlayCache:
+    """Build each (dataset, overlay, size) combination once per session."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self._store: dict = {}
+
+    def get(self, kind: str, builder, *key):
+        cache_key = (kind, *key)
+        if cache_key not in self._store:
+            self._store[cache_key] = builder()
+        return self._store[cache_key]
+
+    def nba_raw(self):
+        return self.get("nba_raw", lambda: builders.nba_raw(self.config, 7))
+
+    def nba_min(self):
+        return self.get("nba_min", lambda: builders.nba_min(self.config, 7))
+
+    def synth(self, dims):
+        return self.get("synth", lambda: builders.synth(self.config, dims, 7),
+                        dims)
+
+    def mirflickr(self):
+        return self.get("mir", lambda: builders.mirflickr(self.config, 7))
+
+    def midas(self, data_name, size, link_policy="random"):
+        data = getattr(self, data_name)() if isinstance(data_name, str) \
+            else data_name
+        return self.get(
+            "midas",
+            lambda: builders.build_midas(data, size, 7,
+                                         link_policy=link_policy),
+            data_name, size, link_policy)
+
+    def midas_for(self, data, tag, size, link_policy="random"):
+        return self.get(
+            "midas", lambda: builders.build_midas(data, size, 7,
+                                                  link_policy=link_policy),
+            tag, size, link_policy)
+
+    def can_for(self, data, tag, size):
+        return self.get("can", lambda: builders.build_can(data, size, 7),
+                        tag, size)
+
+    def baton_for(self, data, tag, size):
+        return self.get("baton", lambda: builders.build_baton(data, size, 7),
+                        tag, size)
+
+
+@pytest.fixture(scope="session")
+def overlays(config) -> OverlayCache:
+    return OverlayCache(config)
+
+
+def attach(benchmark, result) -> None:
+    """Publish the paper's metrics on the benchmark record."""
+    stats = result.stats
+    benchmark.extra_info["latency_hops"] = stats.latency
+    benchmark.extra_info["congestion_peers"] = stats.processed
+    benchmark.extra_info["messages"] = stats.total_messages
+    benchmark.extra_info["tuples_shipped"] = stats.tuples_shipped

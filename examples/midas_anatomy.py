@@ -1,0 +1,94 @@
+"""Anatomy of a MIDAS overlay: the paper's Figures 1-3 in ASCII.
+
+* Figure 1 — the virtual k-d tree, peer identifiers, zones, and the links
+  of one peer.
+* Figure 2 — the boundary identifier patterns of Section 5.2.
+* Figure 3 — the wavefront of a fast skyline query, hop by hop.
+
+Run with::
+
+    python examples/midas_anatomy.py
+"""
+
+import numpy as np
+
+from repro import MidasOverlay
+from repro.core import framework
+from repro.overlays.patterns import matches_any_pattern
+from repro.queries.skyline import SkylineHandler
+
+
+def zone_string(rect) -> str:
+    lo = ", ".join(f"{v:.2f}" for v in rect.lo)
+    hi = ", ".join(f"{v:.2f}" for v in rect.hi)
+    return f"[{lo}] - [{hi}]"
+
+
+def main() -> None:
+    overlay = MidasOverlay(dims=2, size=12, seed=5,
+                           link_policy="boundary")
+
+    # --- Figure 1: ids, zones, links --------------------------------------
+    print("=== Figure 1: the virtual k-d tree ===")
+    peers = sorted(overlay.peers(), key=lambda p: p.path)
+    for peer in peers:
+        marker = "*" if matches_any_pattern(peer.path, 2) else " "
+        print(f"  id={peer.id_string():8s}{marker} "
+              f"zone {zone_string(peer.zone)}")
+    print("  (* = identifier matches a boundary pattern, Section 5.2)")
+
+    some = peers[0]
+    print(f"\nlinks of peer {some.id_string()} "
+          f"(one per sibling subtree depth):")
+    for i, link in enumerate(some.links(), 1):
+        print(f"  link {i}: -> peer {link.peer.id_string():8s} "
+              f"region {zone_string(link.region.rect)}")
+
+    # --- Figure 2: boundary patterns ---------------------------------------
+    print("\n=== Figure 2: boundary-pattern identifiers ===")
+    print("2-d patterns: p_h = (X0)*X?  and  p_v = (0X)*0?")
+    for peer in peers:
+        if matches_any_pattern(peer.path, 2):
+            print(f"  {peer.id_string() or '(root)'}: "
+                  f"zone touches a lower domain boundary "
+                  f"at {zone_string(peer.zone)}")
+
+    # --- Figure 3: fast skyline wavefront ----------------------------------
+    print("\n=== Figure 3: fast skyline processing, hop by hop ===")
+    data = np.random.default_rng(0).random((240, 2)) * 0.999
+    overlay.load(data)
+
+    hops: list[tuple[int, str]] = []
+    original = framework._process
+
+    def traced(ctx, handler, peer, state, restriction, r, **kwargs):
+        depth = kwargs.pop("_depth", 0)
+        hops.append((depth, peer.id_string()))
+        return original(ctx, handler, peer, state, restriction, r, **kwargs)
+
+    # wrap to track the recursion depth via the call structure
+    def depth_tracking(ctx, handler, peer, state, restriction, r, **kwargs):
+        hops.append((len(ctx.processed), peer.id_string()))
+        return original(ctx, handler, peer, state, restriction, r, **kwargs)
+
+    framework._process = depth_tracking
+    try:
+        result = framework.run_fast(peers[-1],
+                                    SkylineHandler(2),
+                                    restriction=overlay.domain())
+    finally:
+        framework._process = original
+
+    print(f"query initiated at peer {peers[-1].id_string()}; "
+          f"visit order (breadth across branches):")
+    for order, peer_id in hops:
+        flag = "*" if matches_any_pattern(
+            tuple(int(b) for b in peer_id), 2) else " "
+        print(f"  visit {order + 1:2d}: peer {peer_id or '(root)':8s}{flag}")
+    print(f"\nskyline of {len(data)} tuples: {len(result.answer)} points, "
+          f"{result.stats.latency} hops of latency, "
+          f"{result.stats.processed}/{len(overlay)} peers visited")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""NBA scenario: best all-around players (top-k) and specialists (skyline).
+
+The workload the paper's evaluation motivates (Section 7.1): a collection
+of per-game player-season stat lines.  A top-k query aggregates the
+attributes into an "all-around" score; a skyline query finds every player
+no one else beats across the board — the specialists.
+
+Run with::
+
+    python examples/nba_allstars.py
+"""
+
+import numpy as np
+
+from repro import LinearScore, MidasOverlay
+from repro.data.nba import NBA_ATTRIBUTES, nba_dataset, to_minimization
+from repro.queries.skyline import distributed_skyline
+from repro.queries.topk import distributed_topk
+
+
+def describe(tup) -> str:
+    return ", ".join(f"{name}={value:.2f}"
+                     for name, value in zip(NBA_ATTRIBUTES, tup))
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    stats = nba_dataset(rng, 22_000)          # higher = better
+    print(f"dataset: {len(stats)} player seasons, "
+          f"{stats.shape[1]} per-game statistics")
+
+    overlay = MidasOverlay(dims=6, seed=3, join_policy="data",
+                           split_rule="midpoint")
+    overlay.load(stats)
+    overlay.grow_to(1024)
+    print(f"network: {len(overlay)} peers\n")
+
+    # --- Top-10 all-around players: weighted sum favoring scoring -------
+    fn = LinearScore([3.0, 1.5, 2.0, 1.0, 1.0, 0.5])
+    print("top-10 all-around players (weighted per-game stats):")
+    for r, label in [(0, "ripple-fast"), (10 ** 9, "ripple-slow")]:
+        result = distributed_topk(overlay.random_peer(), fn, 10,
+                                  restriction=overlay.domain(), r=r)
+        print(f"  {label}: latency={result.stats.latency} hops, "
+              f"congestion={result.stats.processed} peers")
+    for rank, (score, tup) in enumerate(result.answer, 1):
+        print(f"  #{rank:2d} score={score:.2f}  {describe(tup)}")
+
+    # --- Skyline: players who excel in some combination -----------------
+    # dominance minimizes, so flip the orientation.
+    flipped = to_minimization(stats)
+    sky_overlay = MidasOverlay(dims=6, seed=3, join_policy="data",
+                               split_rule="midpoint",
+                               link_policy="boundary")
+    sky_overlay.load(flipped)
+    sky_overlay.grow_to(1024)
+    result = distributed_skyline(sky_overlay.random_peer(), 6,
+                                 restriction=sky_overlay.domain(), r=0)
+    print(f"\nskyline: {len(result.answer)} non-dominated player seasons "
+          f"({result.stats.latency} hops, "
+          f"{result.stats.processed} peers)")
+    # show the three most extreme specialists per attribute
+    sky = np.array(result.answer)
+    for axis, name in enumerate(NBA_ATTRIBUTES[:3]):
+        best = sky[np.argmin(sky[:, axis])]
+        print(f"  best {name}: {describe(1.0 - best)}")
+
+
+if __name__ == "__main__":
+    main()

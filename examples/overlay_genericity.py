@@ -1,0 +1,68 @@
+"""RIPPLE is overlay-generic (Section 3.1): one query, three DHTs.
+
+The same top-k handler — untouched — runs over MIDAS (k-d tree regions),
+Chord (finger-arc regions on a ring) and CAN (pyramidal frustum regions),
+because each overlay merely assigns its links regions that partition the
+domain.  Only the cost profiles differ.
+
+Run with::
+
+    python examples/overlay_genericity.py
+"""
+
+import numpy as np
+
+from repro import MidasOverlay, NearestScore, run_ripple
+from repro.overlays.can import CanOverlay
+from repro.overlays.chord import ChordOverlay
+from repro.queries.topk import TopKHandler, topk_reference
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    k = 5
+
+    # --- MIDAS: multidimensional, exact regions, strict single-visit -----
+    data2d = rng.random((4_000, 2)) * 0.999
+    midas = MidasOverlay(dims=2, seed=1, join_policy="data")
+    midas.load(data2d)
+    midas.grow_to(128)
+    fn2 = NearestScore((0.3, 0.7))
+    reference = [s for s, _ in topk_reference(data2d, fn2, k)]
+    result = run_ripple(midas.random_peer(), TopKHandler(fn2, k), 2,
+                        restriction=midas.domain())
+    assert [s for s, _ in result.answer] == reference
+    print(f"MIDAS  (128 peers, 2-d): correct; "
+          f"latency={result.stats.latency}, "
+          f"congestion={result.stats.processed}")
+
+    # --- CAN: frustum regions are conservative covers -> lenient mode ----
+    can = CanOverlay(dims=2, seed=1, join_policy="data")
+    can.load(data2d)
+    can.grow_to(128)
+    result = run_ripple(can.random_peer(), TopKHandler(fn2, k), 2,
+                        restriction=can.domain(), strict=False)
+    assert [s for s, _ in result.answer] == reference
+    print(f"CAN    (128 peers, 2-d): correct; "
+          f"latency={result.stats.latency}, "
+          f"congestion={result.stats.processed}")
+
+    # --- Chord: a ring DHT; data is one-dimensional -----------------------
+    data1d = rng.random((4_000, 1)) * 0.999
+    chord = ChordOverlay(size=128, seed=1)
+    chord.load(data1d)
+    fn1 = NearestScore((0.42,))
+    reference1 = [s for s, _ in topk_reference(data1d, fn1, k)]
+    result = run_ripple(chord.random_peer(), TopKHandler(fn1, k), 2,
+                        restriction=chord.domain())
+    assert [s for s, _ in result.answer] == reference1
+    print(f"Chord  (128 peers, 1-d): correct; "
+          f"latency={result.stats.latency}, "
+          f"congestion={result.stats.processed}")
+
+    print("\nsame handler, three overlays — only the region geometry "
+          "changed.")
+
+
+if __name__ == "__main__":
+    main()

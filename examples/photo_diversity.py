@@ -1,0 +1,65 @@
+"""Photo search scenario: diversified image retrieval (Section 6).
+
+A content-based image search over edge-histogram descriptors should
+return pictures *similar to the query yet different from each other*.
+This example runs the paper's k-diversification query for several values
+of the relevance/diversity weight lambda and shows how the result set and
+the distributed cost change — including the cost gap between RIPPLE and
+the CAN-flooding baseline.
+
+Run with::
+
+    python examples/photo_diversity.py
+"""
+
+import numpy as np
+
+from repro import MidasOverlay
+from repro.baselines.div_baseline import FloodingDiversifier
+from repro.data.mirflickr import mirflickr_dataset
+from repro.overlays.can import CanOverlay
+from repro.queries.diversify import (DiversificationObjective,
+                                     RippleDiversifier, greedy_diversify)
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    photos = mirflickr_dataset(rng, 8_000)
+    query = photos[123]
+    print(f"collection: {len(photos)} edge-histogram descriptors; "
+          f"query photo = {np.round(query, 3)}\n")
+
+    midas = MidasOverlay(dims=5, seed=11, join_policy="data",
+                         split_rule="midpoint")
+    midas.load(photos)
+    midas.grow_to(256)
+    can = CanOverlay(dims=5, seed=11, join_policy="data")
+    can.load(photos)
+    can.grow_to(256)
+
+    for lam in (0.2, 0.5, 0.8):
+        objective = DiversificationObjective(query, lam, p=1)
+        ripple = RippleDiversifier(midas, midas.random_peer(), r=0)
+        result = greedy_diversify(ripple, objective, k=6)
+        members, value = result.answer
+        baseline = FloodingDiversifier(can, can.random_peer())
+        base_result = greedy_diversify(baseline, objective, k=6)
+
+        assert sorted(base_result.answer[0]) == sorted(members), \
+            "both engines follow the same greedy steps"
+        rel = np.mean([np.abs(np.array(m) - query).sum() for m in members])
+        pairwise = [np.abs(np.array(a) - np.array(b)).sum()
+                    for i, a in enumerate(members) for b in members[i + 1:]]
+        print(f"lambda={lam}:  f={value:+.3f}  "
+              f"avg relevance dist={rel:.3f}  "
+              f"min pairwise dist={min(pairwise):.3f}")
+        print(f"  ripple-fast: {result.stats.latency} hops, "
+              f"{result.stats.processed} peer visits")
+        print(f"  baseline:    {base_result.stats.latency} hops, "
+              f"{base_result.stats.processed} peer visits "
+              f"({base_result.stats.processed / result.stats.processed:.1f}x"
+              " the load)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Vertical top-k middleware: FA vs TA vs TPUT vs KLEE (Section 2.1).
+
+The other distribution axis: each peer holds *one attribute of every
+tuple* instead of every attribute of some tuples.  The classical
+middleware algorithms interact with the attribute peers through sorted
+and random accesses; this example compares their access costs on data
+with different correlation structure.
+
+Run with::
+
+    python examples/vertical_middleware.py
+"""
+
+import numpy as np
+
+from repro.vertical import (VerticalNetwork, fagin, klee,
+                            threshold_algorithm, tput)
+
+
+def make_data(kind: str, n: int, m: int, rng) -> np.ndarray:
+    if kind == "independent":
+        return rng.random((n, m))
+    if kind == "correlated":
+        base = rng.random((n, 1))
+        return np.clip(base + rng.normal(0, 0.05, (n, m)), 0, 1)
+    base = rng.random((n, 1))
+    columns = [base if j % 2 == 0 else 1 - base for j in range(m)]
+    return np.clip(np.hstack(columns) + rng.normal(0, 0.05, (n, m)), 0, 1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    k = 10
+    for kind in ("independent", "correlated", "anticorrelated"):
+        data = make_data(kind, 5_000, 3, rng)
+        reference = VerticalNetwork(data).reference_topk(k, [1, 1, 1])
+        print(f"--- {kind} attributes "
+              f"(true top-{k} score {reference[0][0]:.3f}) ---")
+        for name, algorithm in [("FA  ", fagin),
+                                ("TA  ", threshold_algorithm),
+                                ("TPUT", tput),
+                                ("KLEE", klee)]:
+            network = VerticalNetwork(data)
+            result = algorithm(network, k)
+            exact = ([s for s, _ in result.answer]
+                     == [s for s, _ in reference])
+            stats = result.stats
+            print(f"  {name} exact={str(exact):5s} "
+                  f"sorted={stats.sorted_accesses:6d} "
+                  f"random={stats.random_accesses:6d} "
+                  f"rounds={stats.rounds}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

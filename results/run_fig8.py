@@ -1,0 +1,8 @@
+"""fig8 at reduced query count (big-skyline dims are expensive in DSL)."""
+from repro.experiments.config import default_config
+from repro.experiments.runner import print_rows
+from repro.experiments.skyline_figures import fig8_skyline_dims
+
+config = default_config().scaled(queries=4, network_seeds=(7,),
+                                 skyline_dims=(2, 3, 4, 5, 6))
+print_rows(fig8_skyline_dims(config))

@@ -1,0 +1,126 @@
+"""DSL: parallel skylines over CAN (Wu et al. [20]).
+
+As summarized in Section 2.2 of the RIPPLE paper: DSL builds a multicast
+hierarchy rooted at the peer whose zone contains the lower-left corner of
+the query constraint (the domain origin for an unconstrained skyline).
+The hierarchy forwards only "downstream": a peer passes its partial
+skyline to the abutting neighbors that come after it in the dominance
+order, peers whose zones cannot dominate each other proceed in parallel,
+and a neighbor whose whole zone is dominated by the partial skyline is not
+queried at all.
+
+The downstream relation: ``A -> B`` iff the zones abut along some axis
+``i`` with ``B`` on the upper side and ``B.lo >= A.lo`` on every other
+axis.  Along such an edge ``sum(zone.lo)`` strictly grows, so the relation
+is acyclic and processing peers in ascending ``sum(zone.lo)`` is a valid
+topological schedule; and every non-origin zone has a predecessor (the
+zone containing the corner just below its ``lo``), so the hierarchy
+reaches every peer that survives pruning — the properties DSL needs.
+
+A peer processes one hop after the last of its upstream senders (it waits
+for all of them, as DSL prescribes), so latency is the longest chain in
+the forwarded sub-DAG; congestion counts the peers that process.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..common.geometry import Point, as_point
+from ..net.context import QueryResult, QueryStats
+from ..net.routing import greedy_route
+from ..overlays.can import CanOverlay, CanPeer
+from ..queries.skyline import merge_skylines, skyline_of_array
+
+__all__ = ["dsl_skyline"]
+
+
+def dsl_skyline(overlay: CanOverlay, initiator: CanPeer) -> QueryResult:
+    """Distributed skyline via DSL; returns the sorted global skyline."""
+    origin = (0.0,) * overlay.dims
+    root, route_path = greedy_route(initiator, origin)
+    route_hops = len(route_path) - 1
+
+    arrival: dict[int, int] = {root.peer_id: route_hops}
+    # incoming states are skylines already; fold them pairwise with the
+    # vectorized merge so big-skyline workloads stay tractable
+    incoming: dict[int, list[Point]] = {root.peer_id: []}
+    answers: list[Point] = []
+    answer_messages = 0
+    tuples_shipped = 0
+    forward_messages = route_hops
+    latency = route_hops
+
+    # Ascending sum(zone.lo) is a topological order of the downstream DAG.
+    heap: list[tuple[float, int]] = [(sum(root.zone.lo), root.peer_id)]
+    queued: dict[int, CanPeer] = {root.peer_id: root}
+    done: set[int] = set()
+
+    while heap:
+        _, peer_id = heapq.heappop(heap)
+        if peer_id in done:
+            continue
+        peer = queued[peer_id]
+        done.add(peer_id)
+
+        local_sky = [as_point(r) for r in skyline_of_array(peer.store.array)]
+        state = merge_skylines(incoming[peer_id], local_sky)
+        local_set = set(local_sky)
+        survivors = [p for p in state if p in local_set]
+        if survivors:
+            answer_messages += 1
+            tuples_shipped += len(survivors)
+            answers.extend(survivors)
+        latency = max(latency, arrival[peer_id])
+
+        for neighbor in _downstream(peer):
+            if neighbor.peer_id in done:
+                continue
+            if any(neighbor.zone.dominated_by(s) for s in state):
+                continue
+            forward_messages += 1
+            tuples_shipped += len(state)
+            incoming[neighbor.peer_id] = merge_skylines(
+                incoming.get(neighbor.peer_id, []), state)
+            arrival[neighbor.peer_id] = max(
+                arrival.get(neighbor.peer_id, 0), arrival[peer_id] + 1)
+            if neighbor.peer_id not in queued:
+                queued[neighbor.peer_id] = neighbor
+                heapq.heappush(heap,
+                               (sum(neighbor.zone.lo), neighbor.peer_id))
+
+    processed = len(done) + (0 if initiator.peer_id in done else 1)
+    stats = QueryStats(
+        latency=latency,
+        processed=processed,
+        forward_messages=forward_messages,
+        response_messages=0,
+        answer_messages=answer_messages,
+        tuples_shipped=tuples_shipped,
+    )
+    return QueryResult(answer=_final_skyline(answers, overlay.dims),
+                       stats=stats)
+
+
+def _final_skyline(answers: list[Point], dims: int) -> list[Point]:
+    """Collected survivors from parallel branches may still dominate each
+    other; one vectorized pass reduces them to the global skyline."""
+    import numpy as np
+
+    if not answers:
+        return []
+    reduced = skyline_of_array(np.asarray(answers, dtype=float))
+    return sorted({as_point(row) for row in reduced})
+
+
+def _downstream(peer: CanPeer) -> list[CanPeer]:
+    """Neighbors after ``peer`` in the dominance order (see module doc)."""
+    out = []
+    for adj in peer.neighbors():
+        if adj.side <= 0:
+            continue
+        other = adj.peer.zone
+        if all(other.lo[d] >= peer.zone.lo[d]
+               for d in range(peer.zone.dims) if d != adj.axis):
+            out.append(adj.peer)
+    return out

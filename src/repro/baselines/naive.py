@@ -1,0 +1,68 @@
+"""The naive broadcast baseline (Section 1).
+
+The strawman the introduction argues against: broadcast the query to the
+entire network, have every peer return its locally qualifying tuples, and
+derive the answer at the initiator.  Latency equals the initiator's
+eccentricity in the overlay graph (optimal), but every peer processes
+every query and local pruning is impossible.
+
+Works over any overlay whose peers expose ``links()`` — the flood follows
+the link graph with duplicate suppression, as a real broadcast would.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.framework import PeerLike
+from ..core.handler import QueryHandler
+from ..net.context import QueryResult, QueryStats
+
+__all__ = ["broadcast_query", "flood"]
+
+
+def flood(initiator: PeerLike) -> tuple[list[tuple[PeerLike, int]], int]:
+    """BFS over the link graph: ``(peer, depth)`` pairs plus message count."""
+    seen = {initiator.peer_id}
+    order = [(initiator, 0)]
+    queue = deque(order)
+    messages = 0
+    while queue:
+        peer, depth = queue.popleft()
+        for link in peer.links():
+            messages += 1
+            if link.peer.peer_id in seen:
+                continue
+            seen.add(link.peer.peer_id)
+            entry = (link.peer, depth + 1)
+            order.append(entry)
+            queue.append(entry)
+    return order, messages
+
+
+def broadcast_query(initiator: PeerLike, handler: QueryHandler) -> QueryResult:
+    """Naive processing of any rank query: flood, collect, merge."""
+    reached, forward_messages = flood(initiator)
+    answers = []
+    answer_messages = 0
+    tuples_shipped = 0
+    latency = 0
+    for peer, depth in reached:
+        local_state = handler.compute_local_state(peer.store,
+                                                  handler.initial_state())
+        answer = handler.compute_local_answer(peer.store, local_state)
+        size = handler.answer_size(answer)
+        answers.append(answer)
+        latency = max(latency, depth)
+        if size > 0 and peer.peer_id != initiator.peer_id:
+            answer_messages += 1
+            tuples_shipped += size
+    stats = QueryStats(
+        latency=latency,
+        processed=len(reached),
+        forward_messages=forward_messages,
+        response_messages=0,
+        answer_messages=answer_messages,
+        tuples_shipped=tuples_shipped,
+    )
+    return QueryResult(answer=handler.finalize(answers), stats=stats)

@@ -1,0 +1,85 @@
+"""Skyframe: skyline processing via border peers (Wang et al. [19]).
+
+As summarized in Section 2.2 of the RIPPLE paper: the querying peer
+forwards the query to the *border peers* — peers responsible for a region
+with minimum value in at least one dimension.  Once their local skylines
+arrive, the initiator determines whether additional peers need to be
+queried (any peer whose zone is not dominated by the skyline gathered so
+far), queries them, and repeats until no further peers qualify; then it
+computes the global skyline.
+
+Skyframe applies to BATON and CAN; we implement it over CAN, whose
+explicit zones make the border condition direct.  Rounds are synchronous:
+each round's latency is the longest routing path of that round, rounds
+run back to back.
+"""
+
+from __future__ import annotations
+
+from ..common.geometry import Point, as_point
+from ..net.context import QueryResult, QueryStats
+from ..net.routing import greedy_route
+from ..overlays.can import CanOverlay, CanPeer
+from ..queries.skyline import merge_skylines, skyline_of_array
+
+__all__ = ["skyframe_skyline"]
+
+
+def skyframe_skyline(overlay: CanOverlay, initiator: CanPeer) -> QueryResult:
+    """Distributed skyline via Skyframe; returns the sorted skyline."""
+    border = [peer for peer in overlay.peers()
+              if any(lo == 0.0 for lo in peer.zone.lo)]
+
+    processed = {initiator.peer_id}
+    skyline: list[Point] = []
+    forward_messages = 0
+    answer_messages = 0
+    tuples_shipped = 0
+    latency = 0
+
+    def query_peers(peers) -> int:
+        """One synchronous round: route to each peer, gather skylines."""
+        nonlocal skyline, forward_messages, answer_messages, tuples_shipped
+        round_latency = 0
+        for peer in peers:
+            if peer.peer_id in processed:
+                continue
+            processed.add(peer.peer_id)
+            _, path = greedy_route(initiator, peer.zone.center)
+            hops = len(path) - 1
+            forward_messages += hops
+            round_latency = max(round_latency, hops)
+            local = [as_point(row)
+                     for row in skyline_of_array(peer.store.array)]
+            survivors = [p for p in merge_skylines(skyline, local)
+                         if p in set(local)]
+            skyline = merge_skylines(skyline, survivors)
+            if survivors:
+                answer_messages += 1
+                tuples_shipped += len(survivors)
+        return round_latency
+
+    # Round 0: the initiator's own data, then the border peers.
+    local = [as_point(row) for row in skyline_of_array(initiator.store.array)]
+    skyline = merge_skylines(skyline, local)
+    latency += query_peers(border)
+
+    # Refinement rounds: query any peer whose zone could still contribute.
+    while True:
+        additional = [peer for peer in overlay.peers()
+                      if peer.peer_id not in processed
+                      and not any(peer.zone.dominated_by(s)
+                                  for s in skyline)]
+        if not additional:
+            break
+        latency += query_peers(additional)
+
+    stats = QueryStats(
+        latency=latency,
+        processed=len(processed),
+        forward_messages=forward_messages,
+        response_messages=0,
+        answer_messages=answer_messages,
+        tuples_shipped=tuples_shipped,
+    )
+    return QueryResult(answer=sorted(skyline), stats=stats)

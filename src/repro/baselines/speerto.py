@@ -1,0 +1,89 @@
+"""SPEERTO: top-k over super-peer networks via k-skybands (Vlachou et
+al. [17], Section 2.1).
+
+Each node precomputes its *k-skyband* — the tuples dominated by fewer
+than k others — once, offline; the max-oriented k-skyband of a partition
+provably contains the partition's top-k for **every** monotone increasing
+scoring function, so it is a query-independent summary.  Each super-peer
+aggregates the skybands of its attached nodes (again reduced to a
+k-skyband).  A query then touches only super-peers: the initiator's
+super-peer collects the aggregated skybands of its backbone neighbors and
+extracts the top-k.
+
+Costs: the one-time precomputation (tuples shipped node -> super-peer) is
+reported separately from the per-query cost (super-peers contacted, the
+skyband tuples they return, two hops of latency on the clique backbone
+plus the node's uplink).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.geometry import as_point
+from ..common.scoring import ScoringFunction
+from ..net.context import QueryResult, QueryStats
+from ..overlays.superpeer import SuperPeerNetwork, SuperPeerNode
+from ..queries.skyline import k_skyband_of_array
+
+__all__ = ["precompute_skybands", "speerto_topk"]
+
+_CACHE_KEY = "speerto_skyband"
+
+
+def precompute_skybands(network: SuperPeerNetwork, k: int) -> int:
+    """The offline phase: per-node skybands aggregated per super-peer.
+
+    Returns the number of tuples shipped over node uplinks — SPEERTO's
+    preprocessing cost.
+    """
+    shipped = 0
+    for super_peer in network.super_peers:
+        collected = []
+        for node in super_peer.nodes:
+            skyband = k_skyband_of_array(node.store.array, k, maximize=True)
+            shipped += len(skyband)
+            if len(skyband):
+                collected.append(skyband)
+        merged = (np.vstack(collected) if collected
+                  else np.empty((0, network.dims)))
+        super_peer.cache[_CACHE_KEY] = (
+            k, k_skyband_of_array(merged, k, maximize=True))
+    return shipped
+
+
+def speerto_topk(network: SuperPeerNetwork, initiator: SuperPeerNode,
+                 fn: ScoringFunction, k: int) -> QueryResult:
+    """Answer a top-k query from the aggregated skybands.
+
+    Requires :func:`precompute_skybands` with at least this ``k``.
+    """
+    home = initiator.super_peer
+    answers = []
+    tuples_shipped = 0
+    contacted = 0
+    for super_peer in network.super_peers:
+        cached = super_peer.cache.get(_CACHE_KEY)
+        if cached is None or cached[0] < k:
+            raise RuntimeError(
+                f"precompute_skybands(k>={k}) must run before queries")
+        skyband = cached[1]
+        if super_peer is not home:
+            contacted += 1
+            tuples_shipped += len(skyband)
+        if len(skyband):
+            answers.append(skyband)
+    pool = np.vstack(answers) if answers else np.empty((0, network.dims))
+    scores = fn.score_batch(pool) if len(pool) else np.empty(0)
+    order = sorted(range(len(pool)),
+                   key=lambda i: (-scores[i], as_point(pool[i])))[:k]
+    answer = [(float(scores[i]), as_point(pool[i])) for i in order]
+    stats = QueryStats(
+        latency=1 + (1 if contacted else 0),  # uplink + one backbone hop
+        processed=1 + contacted,
+        forward_messages=1 + contacted,
+        response_messages=contacted,
+        answer_messages=1,
+        tuples_shipped=tuples_shipped,
+    )
+    return QueryResult(answer=answer, stats=stats)

@@ -1,0 +1,97 @@
+"""SSP: Skyline Space Partitioning over BATON (Wang et al. [18]).
+
+As summarized in Section 2.2 of the RIPPLE paper: the multi-dimensional
+space is mapped to one-dimensional keys with a Z-curve (a BATON
+limitation).  Query processing starts *only* at the peer responsible for
+the region containing the origin of the data space; that peer computes the
+local skyline points that belong to the global skyline and the most
+dominating point, which the querying peer uses to refine the search space
+and prune dominated peers.  The querying peer then forwards the query to
+every peer that survives pruning and gathers their skyline sets.
+
+Pruning a peer means proving its whole key range dominated: the range
+decomposes into maximal Z-cells (rectangles), and the range is prunable
+iff every cell is dominated by some already-known skyline point
+(:meth:`Rect.dominated_by`).
+
+Cost accounting mirrors the rest of the suite: latency counts the hops on
+the critical path (route to the origin peer, then the parallel routed
+fan-out), congestion counts peers that evaluate the query (relay peers
+only forward and are accounted as messages).
+"""
+
+from __future__ import annotations
+
+from ..common.geometry import as_point
+from ..net.context import QueryResult, QueryStats
+from ..overlays.baton import BatonOverlay, BatonPeer
+from ..queries.skyline import merge_skylines, skyline_of_array
+
+__all__ = ["ssp_skyline"]
+
+
+def ssp_skyline(overlay: BatonOverlay, initiator: BatonPeer) -> QueryResult:
+    """Distributed skyline via SSP; returns the sorted global skyline."""
+    origin_peer, route_hops = overlay.route(initiator, 0)
+    origin_sky = [as_point(row)
+                  for row in skyline_of_array(origin_peer.store.array)]
+    prune_set = origin_sky  # a local skyline is already an antichain
+
+    processed = {initiator.peer_id, origin_peer.peer_id}
+    answers = list(prune_set)
+    forward_messages = route_hops
+    answer_messages = 1 if prune_set else 0
+    tuples_shipped = len(prune_set)
+    fanout_latency = 0
+
+    # The querying peer evaluates its own store locally (no routing).
+    if initiator.peer_id != origin_peer.peer_id:
+        local = [as_point(row)
+                 for row in skyline_of_array(initiator.store.array)]
+        answers.extend(p for p in merge_skylines(prune_set, local)
+                       if p in set(local))
+
+    for peer in overlay.peers():
+        if peer.peer_id in processed:
+            continue
+        if _range_dominated(overlay, peer, prune_set):
+            continue
+        # The querying peer routes the query (with the pruning set) to the
+        # surviving peer; the reply travels back directly.
+        _, hops = overlay.route(initiator, peer.range_lo)
+        forward_messages += hops
+        fanout_latency = max(fanout_latency, hops)
+        processed.add(peer.peer_id)
+        local = [as_point(row) for row in skyline_of_array(peer.store.array)]
+        survivors = [p for p in merge_skylines(prune_set, local)
+                     if p in set(local)]
+        if survivors:
+            answer_messages += 1
+            tuples_shipped += len(survivors)
+            answers.extend(survivors)
+
+    stats = QueryStats(
+        latency=route_hops + fanout_latency,
+        processed=len(processed),
+        forward_messages=forward_messages,
+        response_messages=0,
+        answer_messages=answer_messages,
+        tuples_shipped=tuples_shipped,
+    )
+    from .dsl import _final_skyline
+    return QueryResult(answer=_final_skyline(answers, overlay.dims),
+                       stats=stats)
+
+
+def _range_dominated(overlay: BatonOverlay, peer: BatonPeer,
+                     prune_set) -> bool:
+    """True when every Z-cell of the peer's range is dominated."""
+    if not prune_set:
+        return False
+    if peer.cached_cells is None:
+        peer.cached_cells = overlay.zcurve.range_rects(
+            peer.range_lo, peer.range_hi - 1)
+    for cell in peer.cached_cells:
+        if not any(cell.dominated_by(point) for point in prune_set):
+            return False
+    return True

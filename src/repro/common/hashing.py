@@ -1,0 +1,34 @@
+"""Deterministic integer mixing.
+
+The simulator must be reproducible across processes, so anywhere a peer
+makes a "random but stable" choice (e.g. which peer inside a sibling
+subtree to link to) we derive it from a splitmix64-style mix of structural
+integers instead of Python's per-process ``hash``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mix", "path_key"]
+
+_MASK = (1 << 64) - 1
+
+
+def mix(*values: int) -> int:
+    """Mix any number of integers into a well-scrambled 64-bit value."""
+    acc = 0x9E3779B97F4A7C15
+    for value in values:
+        acc = (acc + (value & _MASK) + 0x9E3779B97F4A7C15) & _MASK
+        acc ^= acc >> 30
+        acc = (acc * 0xBF58476D1CE4E5B9) & _MASK
+        acc ^= acc >> 27
+        acc = (acc * 0x94D049BB133111EB) & _MASK
+        acc ^= acc >> 31
+    return acc
+
+
+def path_key(path: tuple[int, ...]) -> int:
+    """A unique integer for a binary tree path (1-prefixed bit string)."""
+    key = 1
+    for bit in path:
+        key = (key << 1) | bit
+    return key

@@ -1,0 +1,107 @@
+"""Scoring functions for top-k queries.
+
+Section 4 of the paper requires a *unimodal* scoring function ``f`` (a
+function with a unique local maximum; every monotone function qualifies)
+together with an upper bound ``f^+`` over a region: the best score any
+tuple inside the region could possibly attain.  ``f^+`` drives both link
+pruning (Algorithm 8) and link prioritization (Algorithm 9).
+
+Scores are *maximized*: the top-k answer holds the ``k`` tuples of highest
+score.  Every implementation is vectorized over NumPy arrays so that peers
+can scan their local store in bulk.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import Point, Rect, mindist
+
+__all__ = ["ScoringFunction", "LinearScore", "NearestScore"]
+
+
+class ScoringFunction(ABC):
+    """A unimodal scoring function with a per-region upper bound."""
+
+    @abstractmethod
+    def score(self, point: Sequence[float]) -> float:
+        """Score of a single tuple (higher is better)."""
+
+    @abstractmethod
+    def score_batch(self, array: np.ndarray) -> np.ndarray:
+        """Scores of an ``(m, d)`` array of tuples, as an ``(m,)`` array."""
+
+    @abstractmethod
+    def upper_bound(self, rect: Rect) -> float:
+        """The paper's ``f^+``: max possible score of any tuple in ``rect``."""
+
+    @abstractmethod
+    def peak(self, rect: Rect) -> Point:
+        """The point of ``rect`` where the (unimodal) score is maximal.
+
+        Used by the seeded drivers to decide where a top-k query should
+        start processing.
+        """
+
+
+class LinearScore(ScoringFunction):
+    """Weighted sum ``f(t) = sum_i w_i * t_i``.
+
+    The classic monotone top-k scoring function (e.g. aggregating NBA
+    per-game statistics).  ``f^+`` is attained at the corner of the region
+    selected by the signs of the weights.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        self.weights = tuple(float(w) for w in weights)
+        self._w = np.asarray(self.weights, dtype=float)
+        self._maximize = tuple(w >= 0 for w in self.weights)
+
+    def score(self, point: Sequence[float]) -> float:
+        return float(np.dot(self._w, np.asarray(point, dtype=float)))
+
+    def score_batch(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array, dtype=float) @ self._w
+
+    def upper_bound(self, rect: Rect) -> float:
+        return self.score(rect.corner(self._maximize))
+
+    def peak(self, rect: Rect) -> Point:
+        return rect.corner(self._maximize)
+
+    def __repr__(self) -> str:
+        return f"LinearScore({list(self.weights)})"
+
+
+class NearestScore(ScoringFunction):
+    """Proximity score ``f(t) = -||t - q||_p``: top-k = k-nearest-neighbors.
+
+    Unimodal but not monotone — it peaks at the query point ``q`` — which
+    exercises the framework beyond corner-evaluated bounds: ``f^+`` over a
+    region is ``-mindist(q, region)``.
+    """
+
+    def __init__(self, query: Sequence[float], p: float = 2):
+        self.query: Point = tuple(float(v) for v in query)
+        self.p = p
+        self._q = np.asarray(self.query, dtype=float)
+
+    def score(self, point: Sequence[float]) -> float:
+        diff = np.abs(np.asarray(point, dtype=float) - self._q)
+        return -float(np.linalg.norm(diff, ord=self.p))
+
+    def score_batch(self, array: np.ndarray) -> np.ndarray:
+        diff = np.asarray(array, dtype=float) - self._q
+        return -np.linalg.norm(diff, ord=self.p, axis=1)
+
+    def upper_bound(self, rect: Rect) -> float:
+        return -mindist(self.query, rect, self.p)
+
+    def peak(self, rect: Rect) -> Point:
+        return rect.clamp(self.query)
+
+    def __repr__(self) -> str:
+        return f"NearestScore(q={list(self.query)}, p={self.p})"

@@ -1,0 +1,130 @@
+"""Per-peer tuple storage.
+
+Each peer of a DHT stores the tuples whose keys fall inside its zone.  The
+store keeps them in a single ``(m, d)`` NumPy array so local scans (top-k,
+skyline seeds, best-phi) are vectorized, while everything that crosses the
+simulated network remains plain tuples (see :mod:`repro.common.geometry`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .geometry import Point, Rect, as_point
+from .scoring import ScoringFunction
+
+__all__ = ["LocalStore"]
+
+_GROWTH = 1.6
+
+
+class LocalStore:
+    """A grow-only columnar buffer of d-dimensional tuples.
+
+    The store over-allocates (amortized O(1) inserts) and exposes the live
+    prefix through :attr:`array`.  Removal happens only wholesale, when a
+    zone splits or merges (:meth:`extract`, :meth:`take_all`).
+    """
+
+    def __init__(self, dims: int, points: Iterable[Sequence[float]] = ()):
+        if dims <= 0:
+            raise ValueError("dims must be positive")
+        self.dims = dims
+        self._buf = np.empty((8, dims), dtype=float)
+        self._size = 0
+        for point in points:
+            self.insert(point)
+
+    # -- capacity -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only view of the live tuples, shape ``(len(self), dims)``."""
+        view = self._buf[: self._size]
+        view.flags.writeable = False
+        return view
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= len(self._buf):
+            return
+        capacity = max(needed, int(len(self._buf) * _GROWTH) + 1)
+        buf = np.empty((capacity, self.dims), dtype=float)
+        buf[: self._size] = self._buf[: self._size]
+        self._buf = buf
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> None:
+        if len(point) != self.dims:
+            raise ValueError(f"expected {self.dims}-d point, got {len(point)}-d")
+        self._reserve(1)
+        self._buf[self._size] = point
+        self._size += 1
+
+    def bulk_load(self, array: np.ndarray) -> None:
+        array = np.asarray(array, dtype=float)
+        if array.ndim != 2 or array.shape[1] != self.dims:
+            raise ValueError(f"expected (m, {self.dims}) array, got {array.shape}")
+        self._reserve(len(array))
+        self._buf[self._size : self._size + len(array)] = array
+        self._size += len(array)
+
+    def extract(self, rect: Rect) -> np.ndarray:
+        """Remove and return all tuples inside ``rect`` (half-open).
+
+        Used when a zone splits: the tuples of the new sibling zone move to
+        the joining peer.
+        """
+        live = self._buf[: self._size]
+        inside = np.all((live >= rect.lo) & (live < rect.hi), axis=1)
+        moved = live[inside].copy()
+        kept = live[~inside]
+        self._buf[: len(kept)] = kept
+        self._size = len(kept)
+        return moved
+
+    def take_all(self) -> np.ndarray:
+        """Remove and return every tuple (zone merge on peer departure)."""
+        out = self._buf[: self._size].copy()
+        self._size = 0
+        return out
+
+    # -- scans --------------------------------------------------------------
+
+    def iter_points(self) -> Iterator[Point]:
+        for row in self.array:
+            yield as_point(row)
+
+    def top_scoring(
+        self,
+        fn: ScoringFunction,
+        limit: int,
+        *,
+        above: float = -np.inf,
+    ) -> list[tuple[float, Point]]:
+        """Up to ``limit`` best local tuples with score >= ``above``.
+
+        Returns ``(score, tuple)`` pairs in descending score order — the
+        local retrieval primitive of Algorithm 4.
+        """
+        if self._size == 0 or limit <= 0:
+            return []
+        scores = fn.score_batch(self.array)
+        eligible = np.flatnonzero(scores >= above)
+        if len(eligible) == 0:
+            return []
+        order = eligible[np.argsort(-scores[eligible], kind="stable")][:limit]
+        return [(float(scores[i]), as_point(self._buf[i])) for i in order]
+
+    def scoring_at_least(self, fn: ScoringFunction, tau: float) -> list[Point]:
+        """Every local tuple with score >= ``tau`` (Algorithm 6)."""
+        if self._size == 0:
+            return []
+        scores = fn.score_batch(self.array)
+        return [as_point(self._buf[i]) for i in np.flatnonzero(scores >= tau)]

@@ -1,0 +1,205 @@
+"""The RIPPLE query-processing templates (Algorithms 1–3).
+
+One recursive routine, :func:`_process`, implements Algorithm 3 faithfully;
+``fast`` (Algorithm 1) and ``slow`` (Algorithm 2) are its ``r = 0`` and
+``r = infinity`` degenerations, exposed as :func:`run_fast`,
+:func:`run_slow` and :func:`run_ripple`.
+
+The framework is overlay-agnostic: a peer is anything satisfying
+:class:`PeerLike` — an id, a :class:`~repro.common.store.LocalStore`, and a
+list of :class:`Link` objects pairing a neighbor with its region.  It is
+also query-agnostic: all query logic lives in a
+:class:`~repro.core.handler.QueryHandler`.
+
+Cost accounting follows the paper's analysis (see
+:mod:`repro.net.context`): forwarding a query is one hop; a sequential
+iteration waits ``1 + child latency``; parallel iterations overlap and the
+slowest dominates.  These choices reproduce Lemmas 1–3 exactly, which the
+test-suite checks against :mod:`repro.core.analysis` on complete overlays.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Hashable, Protocol, Sequence, runtime_checkable
+
+from ..common.store import LocalStore
+from ..net.context import QueryContext, QueryResult
+from .handler import QueryHandler
+from .regions import Region
+
+__all__ = ["Link", "PeerLike", "run_fast", "run_slow", "run_ripple", "SLOW"]
+
+#: Ripple parameter value that never runs out: every peer uses the
+#: sequential loop, i.e. Algorithm 2.  (Any r > maximum link count works.)
+SLOW = sys.maxsize
+
+_MIN_RECURSION_LIMIT = 20_000
+
+
+@dataclass(frozen=True)
+class Link:
+    """A neighbor plus the region this peer assigns to it."""
+
+    peer: "PeerLike"
+    region: Region
+
+
+@runtime_checkable
+class PeerLike(Protocol):
+    """What the templates require of an overlay peer."""
+
+    peer_id: Hashable
+    store: LocalStore
+
+    def links(self) -> Sequence[Link]:  # pragma: no cover - protocol
+        ...
+
+
+def run_ripple(
+    initiator: PeerLike,
+    handler: QueryHandler,
+    r: int,
+    *,
+    restriction: Region,
+    strict: bool = True,
+    initial_state: Any | None = None,
+) -> QueryResult:
+    """Process a rank query with ripple parameter ``r`` (Algorithm 3).
+
+    ``restriction`` is the initial restriction area — the entire domain for
+    a regular invocation.  ``strict`` controls whether a double visit is a
+    simulator error (exact region partitions) or silently deduped
+    (conservative covers, e.g. CAN frustums).  ``initial_state`` overrides
+    the handler's neutral initial global state — the paper's
+    diversification loop passes an explicit threshold this way
+    (Algorithm 23, line 10).
+    """
+    ctx = QueryContext(strict=strict)
+    return execute(initiator, handler, r, restriction=restriction, ctx=ctx,
+                   initial_state=initial_state)
+
+
+def execute(
+    initiator: PeerLike,
+    handler: QueryHandler,
+    r: int,
+    *,
+    restriction: Region,
+    ctx: QueryContext,
+    initial_state: Any | None = None,
+    base_latency: int = 0,
+    answers_to: Hashable | None = None,
+) -> QueryResult:
+    """Low-level entry point: run Algorithm 3 over a caller-owned context.
+
+    Query drivers that prepend a routing/seeding phase (see
+    :mod:`repro.queries.drivers`) mark the peers already processed in
+    ``ctx``, account the hops already spent in ``base_latency``, and name
+    the peer that ultimately receives the answers in ``answers_to`` (the
+    real initiator, when the ripple phase starts at a routed-to seed).
+    """
+    if r < 0:
+        raise ValueError(f"ripple parameter must be non-negative, got {r}")
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+    state = handler.initial_state() if initial_state is None else initial_state
+    initiator_id = initiator.peer_id if answers_to is None else answers_to
+    _, latency = _process(ctx, handler, initiator, state,
+                          restriction, r, initiator_id=initiator_id,
+                          top_level=True)
+    answer = handler.finalize(ctx.collected_answers)
+    return QueryResult(answer=answer, stats=ctx.stats(base_latency + latency))
+
+
+def run_fast(initiator: PeerLike, handler: QueryHandler, *,
+             restriction: Region, strict: bool = True) -> QueryResult:
+    """Latency-optimal processing (Algorithm 1): ripple with ``r = 0``."""
+    return run_ripple(initiator, handler, 0,
+                      restriction=restriction, strict=strict)
+
+
+def run_slow(initiator: PeerLike, handler: QueryHandler, *,
+             restriction: Region, strict: bool = True) -> QueryResult:
+    """Communication-optimal processing (Algorithm 2): unbounded ``r``."""
+    return run_ripple(initiator, handler, SLOW,
+                      restriction=restriction, strict=strict)
+
+
+def _process(
+    ctx: QueryContext,
+    handler: QueryHandler,
+    peer: PeerLike,
+    global_state: Any,
+    restriction: Region,
+    r: int,
+    *,
+    initiator_id: Hashable,
+    top_level: bool = False,
+) -> tuple[list[Any], int]:
+    """One peer's execution of Algorithm 3.
+
+    Returns the local states this peer contributes upstream — a single
+    merged state in sequential mode, or every subtree state in parallel
+    mode (the paper has fast-mode peers report directly to their nearest
+    ``r = 1`` ancestor) — together with the critical-path latency of the
+    subtree rooted here.
+    """
+    processes = ctx.begin_processing(peer.peer_id)
+    if processes:
+        local_state = handler.compute_local_state(peer.store, global_state)
+    else:
+        local_state = handler.neutral_local_state()
+    gstate = handler.compute_global_state(global_state, local_state)
+
+    if r > 0:
+        # Sequential, prioritized forwarding: fold every response back into
+        # the local state before deciding on the next link (Alg. 3, 4-11).
+        latency = 0
+        links = sorted(peer.links(),
+                       key=lambda ln: handler.link_priority(ln.region))
+        for link in links:
+            sub = link.region.intersect(restriction)
+            if sub is None:
+                continue
+            if not handler.is_link_relevant(sub, gstate):
+                continue
+            ctx.on_forward()
+            child_states, child_latency = _process(
+                ctx, handler, link.peer, gstate, sub, r - 1,
+                initiator_id=initiator_id)
+            ctx.on_response(len(child_states))
+            latency += 1 + child_latency
+            local_state = handler.update_local_state(
+                [local_state, *child_states])
+            gstate = handler.compute_global_state(global_state, local_state)
+        upstream = [local_state] if processes or not top_level else []
+    else:
+        # Parallel forwarding: every relevant link at once, latency is the
+        # slowest branch (Alg. 3, 13-17 == Alg. 1).  Subtree states flow
+        # straight back to the nearest sequential ancestor.
+        latency = 0
+        upstream = [local_state] if processes else []
+        for link in peer.links():
+            sub = link.region.intersect(restriction)
+            if sub is None:
+                continue
+            if not handler.is_link_relevant(sub, gstate):
+                continue
+            ctx.on_forward()
+            child_states, child_latency = _process(
+                ctx, handler, link.peer, gstate, sub, 0,
+                initiator_id=initiator_id)
+            latency = max(latency, 1 + child_latency)
+            upstream.extend(child_states)
+
+    if processes:
+        answer = handler.compute_local_answer(peer.store, local_state)
+        size = handler.answer_size(answer)
+        if peer.peer_id == initiator_id:
+            # The initiator's own qualifying tuples never cross the network.
+            ctx.collected_answers.append(answer)
+        else:
+            ctx.on_answer(answer, size)
+    return upstream, latency

@@ -1,0 +1,96 @@
+"""The abstract query handler: RIPPLE's pluggable per-query logic.
+
+Algorithms 1–3 of the paper are *templates*: they orchestrate message flow
+but delegate every query-specific decision to six abstract functions.  A
+:class:`QueryHandler` bundles those functions; Sections 4–6 of the paper
+(and :mod:`repro.queries`) provide one handler per query type:
+
+========================  =======================================
+paper pseudocode          handler method
+========================  =======================================
+``computeLocalState``     :meth:`QueryHandler.compute_local_state`
+``computeGlobalState``    :meth:`QueryHandler.compute_global_state`
+``updateLocalState``      :meth:`QueryHandler.update_local_state`
+``computeLocalAnswer``    :meth:`QueryHandler.compute_local_answer`
+``isLinkRelevant``        :meth:`QueryHandler.is_link_relevant`
+``comp`` (via sortLinks)  :meth:`QueryHandler.link_priority`
+========================  =======================================
+
+States are opaque to the framework: it only moves them around.  The
+geometric half of ``isLinkRelevant`` — does the link's region overlap the
+restriction area? — lives in the framework; the handler only answers the
+query-specific half over the (already restricted) region.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from ..common.store import LocalStore
+from .regions import Region
+
+__all__ = ["QueryHandler"]
+
+
+class QueryHandler(ABC):
+    """Query-specific callbacks consumed by the RIPPLE templates."""
+
+    @abstractmethod
+    def initial_state(self) -> Any:
+        """The neutral global state the initiator starts from."""
+
+    @abstractmethod
+    def compute_local_state(self, store: LocalStore, global_state: Any) -> Any:
+        """Derive this peer's local state from its tuples and the received
+        global state."""
+
+    @abstractmethod
+    def compute_global_state(self, global_state: Any, local_state: Any) -> Any:
+        """Fold a local state into the received global state."""
+
+    @abstractmethod
+    def update_local_state(self, states: Sequence[Any]) -> Any:
+        """Merge several local states (own + those returned by links)."""
+
+    @abstractmethod
+    def compute_local_answer(self, store: LocalStore, local_state: Any) -> Any:
+        """Extract the locally qualifying tuples for the initiator."""
+
+    @abstractmethod
+    def is_link_relevant(self, region: Region, global_state: Any) -> bool:
+        """Could ``region`` still contribute to the answer, given the state?"""
+
+    @abstractmethod
+    def link_priority(self, region: Region) -> float:
+        """Sort key for sequential forwarding; smaller = contacted earlier."""
+
+    def neutral_local_state(self) -> Any:
+        """The identity element of :meth:`update_local_state`.
+
+        Reported by peers that receive a query a second time (possible only
+        over approximate region covers) so nothing is double-counted.
+        """
+        return self.update_local_state(())
+
+    @abstractmethod
+    def finalize(self, answers: Sequence[Any]) -> Any:
+        """Combine the local answers collected at the initiator."""
+
+    def seed_satisfied(self, state: Any) -> bool:
+        """Whether a seeding probe (see :mod:`repro.queries.drivers`) has
+        gathered enough state to stop; True disables probing."""
+        return True
+
+    def probe_score(self, state: Any) -> float:
+        """How strong a probe harvest is (monotone; higher is stronger).
+
+        The seeding probe keeps walking while this still improves, so the
+        threshold it hands to the fan-out phase has converged.  The
+        default (a constant) makes ``seed_satisfied`` the sole stop rule.
+        """
+        return 0.0
+
+    def answer_size(self, answer: Any) -> int:
+        """Number of tuples shipped to the initiator for ``answer``."""
+        return len(answer) if answer else 0

@@ -1,0 +1,223 @@
+"""Region abstraction used by the RIPPLE templates.
+
+Section 3.1: each peer associates a *region* with every link such that (i)
+a link's region covers the linked peer's zone and (ii) the regions of all
+links partition the domain.  The framework needs exactly two operations on
+regions, kept overlay-agnostic here:
+
+* intersecting a region with the current *restriction area* ``R`` (which is
+  itself a region), to confine forwarded queries — :meth:`Region.intersect`;
+* bounding what tuples the region could contain, for pruning and for link
+  prioritization.  Handlers consume a conservative *cover* of axis-aligned
+  rectangles — :meth:`Region.cover` — so every query-specific bound
+  (``f^+``, dominance, ``phi^-``) reduces to per-rectangle geometry.
+
+Concrete shapes: :class:`RectRegion` (MIDAS sibling subtrees, and the whole
+domain), :class:`ArcRegion` (Chord finger arcs over the 1-d ring), and
+:class:`FrustumRegion` / :class:`FrustumIntersection` (CAN pyramidal
+frustums, whose restriction chains are represented exactly but covered by
+bounding boxes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..common.geometry import Frustum, Interval, Rect
+
+__all__ = [
+    "Region",
+    "RectRegion",
+    "ArcRegion",
+    "FrustumRegion",
+    "FrustumIntersection",
+    "domain_region",
+]
+
+
+class Region(ABC):
+    """A (possibly non-rectangular) area of the domain."""
+
+    #: True when :meth:`cover` is exact (the union of the cover equals the
+    #: region).  Overlays whose regions are only covered approximately must
+    #: run the framework in non-strict visit mode.
+    exact: bool = True
+
+    @abstractmethod
+    def intersect(self, other: "Region") -> "Region | None":
+        """The overlap with ``other``, or None when (provably) empty."""
+
+    @abstractmethod
+    def cover(self) -> tuple[Rect, ...]:
+        """Axis-aligned rectangles whose union contains the region."""
+
+    @abstractmethod
+    def contains(self, point: Sequence[float]) -> bool:
+        """Exact point membership; drives greedy DHT routing."""
+
+
+@dataclass(frozen=True)
+class RectRegion(Region):
+    """An axis-aligned box region (MIDAS subtrees nest, so intersections
+    of live regions are again boxes)."""
+
+    rect: Rect
+
+    def intersect(self, other: Region) -> Region | None:
+        if isinstance(other, RectRegion):
+            overlap = self.rect.intersection(other.rect)
+            return None if overlap is None else RectRegion(overlap)
+        return other.intersect(self)
+
+    def cover(self) -> tuple[Rect, ...]:
+        return (self.rect,)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self.rect.contains(point)
+
+
+def domain_region(dims: int) -> RectRegion:
+    """The unrestricted restriction area: the whole unit domain."""
+    return RectRegion(Rect.unit(dims))
+
+
+@dataclass(frozen=True)
+class ArcRegion(Region):
+    """A Chord region: a union of disjoint arcs of the unit key ring.
+
+    A single finger region is one arc, but restriction areas shrink by
+    intersection, and two ring arcs can overlap in *two* disjoint runs
+    (when one of them wraps past 1.0), so the general shape is a small
+    set of arcs.  Internally every arc is normalized to non-wrapping
+    half-open pieces ``[start, end)`` with ``end <= 1``.
+    """
+
+    pieces: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def from_interval(cls, interval: Interval) -> "ArcRegion":
+        return cls(_normalize_arc(interval.start, interval.end))
+
+    def intersect(self, other: Region) -> Region | None:
+        if isinstance(other, RectRegion):
+            if other.rect.dims != 1:
+                raise TypeError("arc regions live on a 1-d ring")
+            other = ArcRegion(((other.rect.lo[0], min(other.rect.hi[0],
+                                                      1.0)),))
+        if not isinstance(other, ArcRegion):
+            raise TypeError(
+                f"cannot intersect arc with {type(other).__name__}")
+        pieces = []
+        for lo_a, hi_a in self.pieces:
+            for lo_b, hi_b in other.pieces:
+                lo, hi = max(lo_a, lo_b), min(hi_a, hi_b)
+                if lo < hi:
+                    pieces.append((lo, hi))
+        if not pieces:
+            return None
+        return ArcRegion(tuple(sorted(pieces)))
+
+    def cover(self) -> tuple[Rect, ...]:
+        return tuple(Rect((lo,), (hi,)) for lo, hi in self.pieces)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        key = point[0] % 1.0
+        return any(lo <= key < hi for lo, hi in self.pieces)
+
+    def length(self) -> float:
+        return sum(hi - lo for lo, hi in self.pieces)
+
+
+def _normalize_arc(start: float, end: float
+                   ) -> tuple[tuple[float, float], ...]:
+    """Split a ring arc ``[start, end)`` into non-wrapping pieces."""
+    start %= 1.0
+    end %= 1.0
+    if start == end:
+        return ((0.0, 1.0),)
+    if start < end:
+        return ((start, end),)
+    pieces = []
+    if start < 1.0:
+        pieces.append((start, 1.0))
+    if end > 0.0:
+        pieces.append((0.0, end))
+    return tuple(pieces)
+
+
+@dataclass(frozen=True)
+class FrustumRegion(Region):
+    """A CAN neighbor region: a pyramidal frustum (Section 3.1).
+
+    Membership is exact (:meth:`Frustum.contains`) but the cover is the
+    frustum's bounding box, so pruning is conservative and the framework
+    must dedup re-visits instead of asserting single visits.
+    """
+
+    frustum: Frustum
+    exact = False
+
+    def intersect(self, other: Region) -> Region | None:
+        if isinstance(other, RectRegion):
+            box = self.frustum.bounding_box().intersection(other.rect)
+            if box is None:
+                return None
+            if other.rect.contains_rect(self.frustum.bounding_box()):
+                return self
+            return FrustumIntersection((self.frustum,), box)
+        if isinstance(other, FrustumRegion):
+            return self.intersect(
+                FrustumIntersection((other.frustum,), other.frustum.bounding_box()))
+        if isinstance(other, FrustumIntersection):
+            box = self.frustum.bounding_box().intersection(other.box)
+            if box is None:
+                return None
+            return FrustumIntersection(other.frustums + (self.frustum,), box)
+        raise TypeError(f"cannot intersect frustum with {type(other).__name__}")
+
+    def cover(self) -> tuple[Rect, ...]:
+        return (self.frustum.bounding_box(),)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self.frustum.contains(point)
+
+
+@dataclass(frozen=True)
+class FrustumIntersection(Region):
+    """A chain of frustum constraints with a cached bounding box.
+
+    Restriction areas along a CAN query path are intersections of the
+    frustums of every hop; the chain keeps membership exact while the
+    bounding box keeps bound computations cheap.
+    """
+
+    frustums: tuple[Frustum, ...]
+    box: Rect
+    exact = False
+
+    def intersect(self, other: Region) -> Region | None:
+        if isinstance(other, RectRegion):
+            box = self.box.intersection(other.rect)
+            if box is None:
+                return None
+            return FrustumIntersection(self.frustums, box)
+        if isinstance(other, (FrustumRegion, FrustumIntersection)):
+            return other.intersect(self) if isinstance(other, FrustumRegion) else \
+                self._merge(other)
+        raise TypeError(
+            f"cannot intersect frustum chain with {type(other).__name__}")
+
+    def _merge(self, other: "FrustumIntersection") -> "Region | None":
+        box = self.box.intersection(other.box)
+        if box is None:
+            return None
+        return FrustumIntersection(self.frustums + other.frustums, box)
+
+    def cover(self) -> tuple[Rect, ...]:
+        return (self.box,)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return (self.box.contains(point, closed=True)
+                and all(f.contains(point) for f in self.frustums))

@@ -1,0 +1,11 @@
+"""Dataset generators standing in for the paper's collections."""
+
+from .mirflickr import MIRFLICKR_DIMS, mirflickr_dataset
+from .nba import NBA_ATTRIBUTES, NBA_SIZE, nba_dataset, to_minimization
+from .synth import anticorrelated, correlated, synth_clustered, uniform
+
+__all__ = [
+    "MIRFLICKR_DIMS", "NBA_ATTRIBUTES", "NBA_SIZE", "anticorrelated",
+    "correlated", "mirflickr_dataset", "nba_dataset", "synth_clustered",
+    "to_minimization", "uniform",
+]

@@ -1,0 +1,39 @@
+"""The experiment suite: regenerate every table and figure of the paper.
+
+Use the CLI (``python -m repro.experiments <figure> --scale <scale>``) or
+call the figure functions directly; each returns a list of
+:class:`~repro.experiments.runner.Row` records holding the paper's
+metrics per (x value, method).
+"""
+
+from .analysis_figures import (ablation_link_policy, decreasing_stage,
+                               lemmas_table)
+from .config import (ExperimentConfig, default_config, paper_config,
+                     smoke_config)
+from .diversify_figures import (fig10_div_dims, fig11_div_k,
+                                fig12_div_lambda, fig9_div_scale)
+from .runner import Row, print_rows, rows_to_series
+from .skyline_figures import fig7_skyline_scale, fig8_skyline_dims
+from .topk_figures import fig4_topk_scale, fig5_topk_dims, fig6_topk_k
+
+__all__ = [
+    "ExperimentConfig",
+    "Row",
+    "ablation_link_policy",
+    "decreasing_stage",
+    "default_config",
+    "fig4_topk_scale",
+    "fig5_topk_dims",
+    "fig6_topk_k",
+    "fig7_skyline_scale",
+    "fig8_skyline_dims",
+    "fig9_div_scale",
+    "fig10_div_dims",
+    "fig11_div_k",
+    "fig12_div_lambda",
+    "lemmas_table",
+    "paper_config",
+    "print_rows",
+    "rows_to_series",
+    "smoke_config",
+]

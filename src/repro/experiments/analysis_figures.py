@@ -1,0 +1,131 @@
+"""Lemma validation and the Section 5.2 ablation.
+
+* ``lemmas_table`` — worst-case latency of fast/slow/ripple measured on
+  complete MIDAS overlays with pruning disabled, against the formulas of
+  Section 3.2 (Lemmas 1-3).  Measured and analytical values must be equal.
+* ``ablation_link_policy`` — skyline cost with the plain random MIDAS
+  link policy vs the boundary-pattern policy of Section 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.scoring import LinearScore
+from ..core.analysis import fast_latency, ripple_latency, slow_latency
+from ..core.framework import SLOW, run_ripple
+from ..overlays.midas import MidasOverlay
+from ..queries.skyline import distributed_skyline, skyline_reference
+from ..queries.topk import TopKHandler
+from .builders import build_midas, nba_min
+from .config import ExperimentConfig, default_config
+from .figures import merge_seed_rows
+from .runner import Row, average_queries, print_rows
+
+__all__ = ["lemmas_table", "ablation_link_policy"]
+
+
+def lemmas_table(depths: tuple[int, ...] = (2, 3, 4, 5),
+                 ripple_rs: tuple[int, ...] = (1, 2)) -> list[Row]:
+    """Measured vs analytical worst-case latency on complete overlays."""
+    rows = []
+    for depth in depths:
+        overlay = MidasOverlay.complete(2, depth, seed=0)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 10 ** 9)
+
+        def measure(r: int) -> int:
+            result = run_ripple(overlay.peers()[0], handler, r,
+                                restriction=overlay.domain())
+            assert result.stats.processed == 2 ** depth
+            return result.stats.latency
+
+        settings = [("fast (measured)", measure(0)),
+                    ("fast (Lemma 1)", fast_latency(depth)),
+                    ("slow (measured)", measure(SLOW)),
+                    ("slow (Lemma 2)", slow_latency(depth))]
+        for r in ripple_rs:
+            settings.append((f"ripple r={r} (measured)", measure(r)))
+            settings.append((f"ripple r={r} (Lemma 3)",
+                             ripple_latency(depth, r)))
+        for name, value in settings:
+            rows.append(Row(figure="lemmas", x_name="tree depth", x=depth,
+                            method=name, latency=float(value),
+                            congestion=float(2 ** depth), messages=0.0,
+                            tuples_shipped=0.0, queries=1))
+    return rows
+
+
+def ablation_link_policy(config: ExperimentConfig | None = None) -> list[Row]:
+    """Section 5.2 ablation: random vs boundary-pattern link targets."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = nba_min(config, seed)
+        reference = skyline_reference(data)
+        rng = np.random.default_rng(seed)
+
+        def check(result):
+            assert result.answer == reference
+
+        for policy in ("random", "boundary"):
+            overlay = build_midas(data, config.default_size, seed,
+                                  link_policy=policy)
+            for label, r in (("fast", 0), ("slow", 10 ** 9)):
+                rows.append(average_queries(
+                    "ablation-5.2", "policy+mode", 0.0,
+                    f"{policy}/{label}",
+                    lambda q_rng, r=r, ov=overlay: distributed_skyline(
+                        ov.random_peer(q_rng), data.shape[1],
+                        restriction=ov.domain(), r=r),
+                    queries=config.queries, rng=rng, check=check))
+    return merge_seed_rows(rows)
+
+
+def decreasing_stage(config: ExperimentConfig | None = None) -> list[Row]:
+    """The decreasing stage of the dynamic topology (Section 7.1).
+
+    The paper grows networks from 1,024 to 131,072 peers and then lets
+    peers leave until 1,024 remain, reporting that the decreasing-stage
+    results are analogous to the increasing stage.  This experiment
+    measures top-k cost while the network *shrinks* through the same
+    sizes, exercising the departure protocol under load.
+    """
+    from ..common.scoring import LinearScore
+    from ..queries.topk import distributed_topk, topk_reference
+    from .builders import build_midas, nba_raw
+    from .figures import ripple_levels
+
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = nba_raw(config, seed)
+        rng = np.random.default_rng(seed)
+        fn = LinearScore([1.0] * data.shape[1])
+        reference = [s for s, _ in topk_reference(data, fn,
+                                                  config.default_k)]
+
+        def check(result):
+            assert [s for s, _ in result.answer] == reference
+
+        overlay = build_midas(data, max(config.sizes), seed)
+        for size in sorted(config.sizes, reverse=True):
+            overlay.shrink_to(size)
+            for label, r in ripple_levels(overlay.max_links()):
+                rows.append(average_queries(
+                    "decreasing-stage", "network size", size, label,
+                    lambda q_rng, r=r: distributed_topk(
+                        overlay.random_peer(q_rng), fn, config.default_k,
+                        restriction=overlay.domain(), r=r),
+                    queries=config.queries, rng=rng, check=check))
+    return merge_seed_rows(rows)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print_rows(lemmas_table(), metrics=("latency",))
+    print_rows(ablation_link_policy(),
+               metrics=("latency", "congestion", "tuples_shipped"))
+    print_rows(decreasing_stage())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

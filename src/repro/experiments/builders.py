@@ -1,0 +1,89 @@
+"""Dataset and overlay builders shared by every experiment.
+
+Networks follow the paper's dynamic topology: an overlay is built by
+successive joins (the *increasing stage*); sweeps over network size reuse
+one overlay per seed and keep growing it between measurement points, so a
+measurement at 2^11 peers is the same network that was measured at 2^10
+after more churn.  ``shrink_between`` reproduces the decreasing stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..data.mirflickr import mirflickr_dataset
+from ..data.nba import nba_dataset, to_minimization
+from ..data.synth import synth_clustered
+from ..overlays.baton import BatonOverlay
+from ..overlays.can import CanOverlay
+from ..overlays.midas import MidasOverlay
+from ..overlays.zcurve import ZCurve
+from .config import ExperimentConfig
+
+__all__ = [
+    "nba_raw",
+    "nba_min",
+    "synth",
+    "mirflickr",
+    "build_midas",
+    "build_can",
+    "build_baton",
+    "grow_stages",
+]
+
+
+def nba_raw(config: ExperimentConfig, seed: int = 0) -> np.ndarray:
+    """NBA-like data, higher = better (top-k orientation)."""
+    return nba_dataset(np.random.default_rng(seed + 101), config.nba_tuples)
+
+
+def nba_min(config: ExperimentConfig, seed: int = 0) -> np.ndarray:
+    """NBA-like data flipped to lower = better (skyline orientation)."""
+    return to_minimization(nba_raw(config, seed))
+
+
+def synth(config: ExperimentConfig, dims: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed + 202)
+    return synth_clustered(config.synth_tuples, dims,
+                           clusters=config.synth_clusters, rng=rng)
+
+
+def mirflickr(config: ExperimentConfig, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed + 303)
+    return mirflickr_dataset(rng, config.mirflickr_tuples)
+
+
+def build_midas(data: np.ndarray, size: int, seed: int, *,
+                link_policy: str = "random") -> MidasOverlay:
+    """The experiment-standard MIDAS network: data-adaptive joins over
+    midpoint splits (see DESIGN.md), loaded before growing."""
+    overlay = MidasOverlay(data.shape[1], size=1, seed=seed,
+                           join_policy="data", split_rule="midpoint",
+                           link_policy=link_policy)  # type: ignore[arg-type]
+    overlay.load(data)
+    overlay.grow_to(size)
+    return overlay
+
+
+def build_can(data: np.ndarray, size: int, seed: int) -> CanOverlay:
+    overlay = CanOverlay(data.shape[1], size=1, seed=seed,
+                         join_policy="data")
+    overlay.load(data)
+    overlay.grow_to(size)
+    return overlay
+
+
+def build_baton(data: np.ndarray, size: int, seed: int, *,
+                bits_per_dim: int = 8) -> BatonOverlay:
+    bits = min(bits_per_dim, 62 // data.shape[1])
+    return BatonOverlay(size, data, zcurve=ZCurve(data.shape[1], bits),
+                        seed=seed)
+
+
+def grow_stages(overlay, sizes: tuple[int, ...]) -> Iterator[int]:
+    """Yield after growing the overlay to each size (increasing stage)."""
+    for size in sorted(sizes):
+        overlay.grow_to(size)
+        yield size

@@ -1,0 +1,131 @@
+"""Experiment configuration (the paper's Table 1, plus scale controls).
+
+The paper's grid:
+
+=================  ======================================  =========
+parameter          range                                   default
+=================  ======================================  =========
+overlay size       2^10 ... 2^17                           2^14
+dimensions         2 ... 10                                5 (SYNTH), 6 (NBA)
+result size k      10 ... 100                              10
+rel/div lambda     0, 0.2, 0.3, 0.5, 0.7, 0.8, 1           0.5
+=================  ======================================  =========
+
+Simulating 2^17 peers and 65,536 queries x 16 networks in pure Python is
+possible but pointless for checking *shapes*, so a config also carries
+scale knobs (dataset size, number of queries, number of network seeds)
+whose defaults are laptop-sized; `paper()` returns the full-scale grid for
+completeness.  EXPERIMENTS.md records which scale each reported run used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ExperimentConfig", "default_config", "paper_config",
+           "smoke_config"]
+
+PAPER_SIZES = tuple(2 ** e for e in range(10, 18))
+PAPER_DIMS = tuple(range(2, 11))
+PAPER_KS = tuple(range(10, 101, 10))
+PAPER_LAMBDAS = (0.0, 0.2, 0.3, 0.5, 0.7, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything a figure module needs to produce its series."""
+
+    sizes: tuple[int, ...] = (2 ** 8, 2 ** 9, 2 ** 10, 2 ** 11)
+    dims: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+    #: dimensionality sweeps for skyline/diversification: high-dimensional
+    #: near-uniform data has skylines of 10^4+ tuples, so the default
+    #: scale stops at 6 dimensions (the paper's 131k-peer runs go to 10)
+    skyline_dims: tuple[int, ...] = (2, 3, 4, 5, 6)
+    div_dims: tuple[int, ...] = (2, 3, 4, 5)
+    ks: tuple[int, ...] = (10, 20, 40, 60, 80, 100)
+    lambdas: tuple[float, ...] = PAPER_LAMBDAS
+    default_size: int = 2 ** 10
+    default_dims_synth: int = 5
+    default_k: int = 10
+    default_lambda: float = 0.5
+    #: tuples in the NBA-like collection (paper: 22,000)
+    nba_tuples: int = 22_000
+    #: tuples drawn from the SYNTH / MIRFLICKR-like generators
+    #: (paper: 1,000,000)
+    synth_tuples: int = 40_000
+    mirflickr_tuples: int = 20_000
+    synth_clusters: int = 2_000
+    #: queries averaged per data point and network seeds per configuration
+    #: (paper: 65,536 queries over 16 networks)
+    queries: int = 16
+    network_seeds: tuple[int, ...] = (7, 19)
+    #: diversification is a multi-query operation (hundreds of distributed
+    #: sub-queries per greedy run), so it gets its own, tighter knobs
+    div_sizes: tuple[int, ...] = (2 ** 7, 2 ** 8, 2 ** 9, 2 ** 10)
+    div_default_size: int = 2 ** 8
+    div_queries: int = 1
+    div_k: int = 10
+    div_ks: tuple[int, ...] = (10, 20, 40)
+    div_lambdas: tuple[float, ...] = (0.0, 0.2, 0.5, 0.8, 1.0)
+    div_max_iters: int = 5
+    seed: int = 1
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        return replace(self, **overrides)
+
+
+def default_config() -> ExperimentConfig:
+    """Laptop-scale defaults used by EXPERIMENTS.md."""
+    return ExperimentConfig()
+
+
+def smoke_config() -> ExperimentConfig:
+    """Tiny configuration for tests and pytest-benchmark runs."""
+    return ExperimentConfig(
+        sizes=(2 ** 6, 2 ** 7),
+        dims=(2, 4),
+        skyline_dims=(2, 4),
+        div_dims=(2, 3),
+        ks=(5, 10),
+        div_ks=(4, 8),
+        lambdas=(0.2, 0.5, 0.8),
+        default_size=2 ** 7,
+        nba_tuples=4_000,
+        synth_tuples=5_000,
+        mirflickr_tuples=3_000,
+        synth_clusters=200,
+        queries=3,
+        network_seeds=(7,),
+        div_sizes=(2 ** 5, 2 ** 6),
+        div_default_size=2 ** 6,
+        div_queries=1,
+        div_k=5,
+        div_max_iters=3,
+    )
+
+
+def paper_config() -> ExperimentConfig:
+    """The full Table 1 grid (hours of simulation; provided for
+    completeness)."""
+    return ExperimentConfig(
+        sizes=PAPER_SIZES,
+        dims=PAPER_DIMS,
+        skyline_dims=PAPER_DIMS,
+        div_dims=PAPER_DIMS,
+        ks=PAPER_KS,
+        div_ks=PAPER_KS,
+        lambdas=PAPER_LAMBDAS,
+        default_size=2 ** 14,
+        nba_tuples=22_000,
+        synth_tuples=1_000_000,
+        mirflickr_tuples=1_000_000,
+        synth_clusters=50_000,
+        queries=256,
+        network_seeds=tuple(range(16)),
+        div_sizes=PAPER_SIZES,
+        div_default_size=2 ** 14,
+        div_queries=16,
+        div_k=10,
+        div_lambdas=PAPER_LAMBDAS,
+        div_max_iters=10,
+    )

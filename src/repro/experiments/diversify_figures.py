@@ -1,0 +1,139 @@
+"""Figures 9-12: k-diversification performance (Section 7.2.3).
+
+Three methods compete:
+
+* ``ripple-fast`` / ``ripple-slow`` — the RIPPLE-based greedy algorithm
+  (Section 6.3) over MIDAS, at the two extreme r values.
+* ``baseline`` — the incremental-diversification adaptation over CAN
+  (Minack et al. [12]).
+
+All three run the *same* greedy driver, so they produce the same result
+set at every step (the paper's fairness device) — asserted per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.div_baseline import FloodingDiversifier
+from ..queries.diversify import (DiversificationObjective, RippleDiversifier,
+                                 greedy_diversify)
+from .builders import build_can, build_midas, mirflickr, synth
+from .config import ExperimentConfig, default_config
+from .figures import merge_seed_rows
+from .runner import Row, print_rows
+
+__all__ = ["fig9_div_scale", "fig10_div_dims", "fig11_div_k",
+           "fig12_div_lambda"]
+
+
+def _measure_div(figure, x_name, x, data, size, seed, *, k, lam, config,
+                 rng) -> list[Row]:
+    midas = build_midas(data, size, seed)
+    can = build_can(data, size, seed)
+    sums = {name: {"latency": 0.0, "congestion": 0.0, "messages": 0.0,
+                   "tuples": 0.0} for name in
+            ("ripple-fast", "ripple-slow", "baseline")}
+    queries = config.div_queries
+    for _ in range(queries):
+        query_point = data[int(rng.integers(len(data)))]
+        objective = DiversificationObjective(query_point, lam, p=1)
+        engines = {
+            "ripple-fast": RippleDiversifier(midas, midas.random_peer(rng),
+                                             r=0),
+            "ripple-slow": RippleDiversifier(midas, midas.random_peer(rng),
+                                             r=10 ** 9),
+            "baseline": FloodingDiversifier(can, can.random_peer(rng)),
+        }
+        answers = {}
+        for name, engine in engines.items():
+            result = greedy_diversify(engine, objective, k,
+                                      max_iters=config.div_max_iters)
+            answers[name] = sorted(result.answer[0])
+            sums[name]["latency"] += result.stats.latency
+            sums[name]["congestion"] += result.stats.processed
+            sums[name]["messages"] += result.stats.total_messages
+            sums[name]["tuples"] += result.stats.tuples_shipped
+        # the paper forces all heuristics to the same per-step result
+        assert answers["ripple-fast"] == answers["baseline"], \
+            f"{figure}: engines diverged"
+        assert answers["ripple-slow"] == answers["baseline"], \
+            f"{figure}: engines diverged"
+    return [Row(figure=figure, x_name=x_name, x=x, method=name,
+                latency=s["latency"] / queries,
+                congestion=s["congestion"] / queries,
+                messages=s["messages"] / queries,
+                tuples_shipped=s["tuples"] / queries,
+                queries=queries)
+            for name, s in sums.items()]
+
+
+def fig9_div_scale(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 9: diversification in terms of overlay size (MIRFLICKR)."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = mirflickr(config, seed)
+        rng = np.random.default_rng(seed)
+        for size in sorted(config.div_sizes):
+            rows.extend(_measure_div(
+                "fig9", "network size", size, data, size, seed,
+                k=config.div_k, lam=config.default_lambda, config=config,
+                rng=rng))
+    return merge_seed_rows(rows)
+
+
+def fig10_div_dims(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 10: diversification in terms of dimensionality (SYNTH)."""
+    config = config or default_config()
+    size = config.div_default_size
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        rng = np.random.default_rng(seed)
+        for dims in config.div_dims:
+            data = synth(config, dims, seed)
+            rows.extend(_measure_div(
+                "fig10", "dimensionality", dims, data, size, seed,
+                k=config.div_k, lam=config.default_lambda, config=config,
+                rng=rng))
+    return merge_seed_rows(rows)
+
+
+def fig11_div_k(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 11: diversification in terms of result size (MIRFLICKR)."""
+    config = config or default_config()
+    size = config.div_default_size
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = mirflickr(config, seed)
+        rng = np.random.default_rng(seed)
+        for k in config.div_ks:
+            rows.extend(_measure_div(
+                "fig11", "result size", k, data, size, seed, k=k,
+                lam=config.default_lambda, config=config, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def fig12_div_lambda(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 12: diversification vs the relevance/diversity trade-off."""
+    config = config or default_config()
+    size = config.div_default_size
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = mirflickr(config, seed)
+        rng = np.random.default_rng(seed)
+        for lam in config.div_lambdas:
+            rows.extend(_measure_div(
+                "fig12", "rel/div tradeoff", lam, data, size, seed,
+                k=config.div_k, lam=lam, config=config, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for fig in (fig9_div_scale, fig10_div_dims, fig11_div_k,
+                fig12_div_lambda):
+        print_rows(fig())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,40 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .runner import Row
+
+__all__ = ["ripple_levels", "merge_seed_rows", "RIPPLE_LEVEL_LABELS"]
+
+RIPPLE_LEVEL_LABELS = ("r=0", "r=D/3", "r=2D/3", "r=D")
+
+
+def ripple_levels(delta: int) -> list[tuple[str, int]]:
+    """The paper's four ripple parameter settings for a given Delta."""
+    return [("r=0", 0), ("r=D/3", max(1, delta // 3)),
+            ("r=2D/3", max(2, (2 * delta) // 3)), ("r=D", delta)]
+
+
+def merge_seed_rows(rows: Sequence[Row]) -> list[Row]:
+    """Average rows measured on different network seeds pointwise."""
+    grouped: dict[tuple, list[Row]] = {}
+    for row in rows:
+        grouped.setdefault((row.figure, row.x_name, row.x, row.method),
+                           []).append(row)
+    merged = []
+    for (figure, x_name, x, method), group in grouped.items():
+        merged.append(Row(
+            figure=figure, x_name=x_name, x=x, method=method,
+            latency=float(np.mean([r.latency for r in group])),
+            congestion=float(np.mean([r.congestion for r in group])),
+            messages=float(np.mean([r.messages for r in group])),
+            tuples_shipped=float(np.mean([r.tuples_shipped for r in group])),
+            queries=sum(r.queries for r in group)))
+    merged.sort(key=lambda r: (r.x, RIPPLE_LEVEL_LABELS.index(r.method)
+                               if r.method in RIPPLE_LEVEL_LABELS
+                               else r.method))
+    return merged

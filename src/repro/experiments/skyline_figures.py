@@ -1,0 +1,91 @@
+"""Figures 7-8: skyline computation (Section 7.2.2).
+
+Four methods compete:
+
+* ``ripple-fast`` / ``ripple-slow`` — RIPPLE over MIDAS with the boundary
+  link-policy optimization of Section 5.2 (the two extreme r values; any
+  other r lands between them, as Section 7.2.1 established).
+* ``dsl`` — DSL over CAN [20].
+* ``ssp`` — SSP over BATON + Z-curve [18].
+
+Every query's answer is verified against the centralized skyline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.dsl import dsl_skyline
+from ..baselines.ssp import ssp_skyline
+from ..queries.skyline import distributed_skyline, skyline_reference
+from .builders import build_baton, build_can, build_midas, nba_min, synth
+from .config import ExperimentConfig, default_config
+from .figures import merge_seed_rows
+from .runner import Row, average_queries, print_rows
+
+__all__ = ["fig7_skyline_scale", "fig8_skyline_dims"]
+
+
+def _methods(data, size, seed):
+    """Build all four competitors over the same data at the same size."""
+    midas = build_midas(data, size, seed, link_policy="boundary")
+    can = build_can(data, size, seed)
+    baton = build_baton(data, size, seed)
+    dims = data.shape[1]
+    return {
+        "ripple-fast": lambda rng: distributed_skyline(
+            midas.random_peer(rng), dims, restriction=midas.domain(), r=0),
+        "ripple-slow": lambda rng: distributed_skyline(
+            midas.random_peer(rng), dims, restriction=midas.domain(),
+            r=10 ** 9),
+        "dsl": lambda rng: dsl_skyline(can, can.random_peer(rng)),
+        "ssp": lambda rng: ssp_skyline(baton, baton.random_peer(rng)),
+    }
+
+
+def _measure_skyline(figure, x_name, x, data, size, seed, *, queries, rng):
+    reference = skyline_reference(data)
+
+    def check(result):
+        assert result.answer == reference, f"{figure}: wrong skyline"
+
+    return [average_queries(figure, x_name, x, name, run_one,
+                            queries=queries, rng=rng, check=check)
+            for name, run_one in _methods(data, size, seed).items()]
+
+
+def fig7_skyline_scale(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 7: skyline computation in terms of overlay size."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = nba_min(config, seed)
+        rng = np.random.default_rng(seed)
+        for size in sorted(config.sizes):
+            rows.extend(_measure_skyline(
+                "fig7", "network size", size, data, size, seed,
+                queries=config.queries, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def fig8_skyline_dims(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 8: skyline computation in terms of dimensionality."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        rng = np.random.default_rng(seed)
+        for dims in config.skyline_dims:
+            data = synth(config, dims, seed)
+            rows.extend(_measure_skyline(
+                "fig8", "dimensionality", dims, data, config.default_size,
+                seed, queries=config.queries, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for fig in (fig7_skyline_scale, fig8_skyline_dims):
+        print_rows(fig())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""Figures 4-6: top-k query performance (Section 7.2.1).
+
+* Figure 4 — latency and congestion vs overlay size (NBA-like data).
+* Figure 5 — vs dimensionality (SYNTH).
+* Figure 6 — vs result size k (NBA-like data).
+
+Each figure compares the four ripple parameter settings
+``r in {0, D/3, 2D/3, D}`` — there is no competitor method for
+distributed top-k over structured overlays (Section 2.1).
+Every query's answer is verified against the centralized oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.scoring import LinearScore
+from ..queries.topk import distributed_topk, topk_reference
+from .builders import build_midas, grow_stages, nba_raw, synth
+from .config import ExperimentConfig, default_config
+from .figures import merge_seed_rows, ripple_levels
+from .runner import Row, average_queries, print_rows
+
+__all__ = ["fig4_topk_scale", "fig5_topk_dims", "fig6_topk_k"]
+
+
+def _measure_topk(figure, x_name, x, overlay, data, k, *, queries, rng):
+    fn = LinearScore([1.0] * data.shape[1])
+    reference = [s for s, _ in topk_reference(data, fn, k)]
+
+    def check(result):
+        got = [s for s, _ in result.answer]
+        assert got == reference, f"{figure}: wrong top-{k} answer"
+
+    rows = []
+    for label, r in ripple_levels(overlay.max_links()):
+        rows.append(average_queries(
+            figure, x_name, x, label,
+            lambda q_rng, r=r: distributed_topk(
+                overlay.random_peer(q_rng), fn, k,
+                restriction=overlay.domain(), r=r),
+            queries=queries, rng=rng, check=check))
+    return rows
+
+
+def fig4_topk_scale(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 4: top-k performance in terms of overlay size."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = nba_raw(config, seed)
+        rng = np.random.default_rng(seed)
+        overlay = build_midas(data, min(config.sizes), seed)
+        for size in grow_stages(overlay, config.sizes):
+            rows.extend(_measure_topk(
+                "fig4", "network size", size, overlay, data,
+                config.default_k, queries=config.queries, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def fig5_topk_dims(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 5: top-k performance in terms of dimensionality."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        rng = np.random.default_rng(seed)
+        for dims in config.dims:
+            data = synth(config, dims, seed)
+            overlay = build_midas(data, config.default_size, seed)
+            rows.extend(_measure_topk(
+                "fig5", "dimensionality", dims, overlay, data,
+                config.default_k, queries=config.queries, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def fig6_topk_k(config: ExperimentConfig | None = None) -> list[Row]:
+    """Figure 6: top-k performance in terms of result size."""
+    config = config or default_config()
+    rows: list[Row] = []
+    for seed in config.network_seeds:
+        data = nba_raw(config, seed)
+        rng = np.random.default_rng(seed)
+        overlay = build_midas(data, config.default_size, seed)
+        for k in config.ks:
+            rows.extend(_measure_topk(
+                "fig6", "result size", k, overlay, data, k,
+                queries=config.queries, rng=rng))
+    return merge_seed_rows(rows)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for fig in (fig4_topk_scale, fig5_topk_dims, fig6_topk_k):
+        print_rows(fig())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,7 @@
+"""Simulation runtime: cost accounting and overlay-agnostic routing."""
+
+from .context import DuplicateVisitError, QueryContext, QueryResult, QueryStats
+from .routing import RoutingError, greedy_route
+
+__all__ = ["DuplicateVisitError", "QueryContext", "QueryResult",
+           "QueryStats", "RoutingError", "greedy_route"]

@@ -1,0 +1,124 @@
+"""Bookkeeping for one simulated distributed query.
+
+The paper evaluates distributed algorithms on two metrics (Section 7.1):
+
+* **latency** — number of hops on the critical path of query propagation.
+  Parallel forwards contribute ``1 + max(child latencies)``; sequential,
+  response-waiting forwards contribute ``sum(1 + child latency)``.  This
+  matches Lemmas 1–3 exactly (response/return hops are not part of query
+  propagation latency).
+* **congestion** — how many peers end up processing a query; averaged over
+  uniformly issued queries this equals the paper's "average number of
+  queries processed at any peer when n queries are issued".
+
+A :class:`QueryContext` is threaded through a single query execution and
+collects these plus secondary traffic metrics (messages, shipped tuples).
+Multi-round operations (k-diversification) merge the contexts of their
+sub-queries with :meth:`QueryStats.combine_sequential`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["QueryContext", "QueryStats", "QueryResult", "DuplicateVisitError"]
+
+
+class DuplicateVisitError(RuntimeError):
+    """A peer processed the same query twice under strict single-visit mode.
+
+    Over overlays with exact, partitioning link regions (MIDAS, Chord) a
+    double visit indicates a broken region partition, so the simulator
+    fails loudly.  Overlays with conservative region covers (CAN frustums)
+    run with ``strict=False`` and dedup instead, like real deployments.
+    """
+
+
+@dataclass
+class QueryStats:
+    """Immutable-after-collection summary of one (sub-)query's cost."""
+
+    latency: int = 0
+    processed: int = 0
+    forward_messages: int = 0
+    response_messages: int = 0
+    answer_messages: int = 0
+    tuples_shipped: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.forward_messages + self.response_messages + self.answer_messages
+
+    def combine_sequential(self, other: "QueryStats") -> "QueryStats":
+        """Aggregate a follow-up round executed after this one."""
+        return QueryStats(
+            latency=self.latency + other.latency,
+            processed=self.processed + other.processed,
+            forward_messages=self.forward_messages + other.forward_messages,
+            response_messages=self.response_messages + other.response_messages,
+            answer_messages=self.answer_messages + other.answer_messages,
+            tuples_shipped=self.tuples_shipped + other.tuples_shipped,
+        )
+
+
+@dataclass
+class QueryResult:
+    """Final answer of a distributed query together with its cost."""
+
+    answer: Any
+    stats: QueryStats
+
+
+@dataclass
+class QueryContext:
+    """Mutable ledger threaded through one query execution."""
+
+    strict: bool = True
+    visited: set[Hashable] = field(default_factory=set)
+    processed: set[Hashable] = field(default_factory=set)
+    #: Peers that may legally be reached again without error even under
+    #: strict mode (e.g. peers already processed by a seeding route).
+    revisitable: set[Hashable] = field(default_factory=set)
+    forward_messages: int = 0
+    response_messages: int = 0
+    answer_messages: int = 0
+    tuples_shipped: int = 0
+    collected_answers: list[Any] = field(default_factory=list)
+
+    def begin_processing(self, peer_id: Hashable) -> bool:
+        """Record a visit; return True when the peer processes local data.
+
+        The first visit processes; re-visits (possible only with
+        conservative region covers) merely route.  Under ``strict`` a
+        re-visit raises :class:`DuplicateVisitError`.
+        """
+        if peer_id in self.processed:
+            if self.strict and peer_id not in self.revisitable:
+                raise DuplicateVisitError(f"peer {peer_id!r} visited twice")
+            return False
+        self.processed.add(peer_id)
+        return True
+
+    def on_forward(self) -> None:
+        self.forward_messages += 1
+
+    def on_response(self, count: int = 1) -> None:
+        self.response_messages += count
+
+    def on_answer(self, answer: Any, size: int) -> None:
+        """A peer ships ``size`` qualifying tuples straight to the initiator."""
+        self.collected_answers.append(answer)
+        if size > 0:
+            self.answer_messages += 1
+            self.tuples_shipped += size
+
+    def stats(self, latency: int) -> QueryStats:
+        return QueryStats(
+            latency=latency,
+            processed=len(self.processed),
+            forward_messages=self.forward_messages,
+            response_messages=self.response_messages,
+            answer_messages=self.answer_messages,
+            tuples_shipped=self.tuples_shipped,
+        )

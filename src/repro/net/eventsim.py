@@ -1,0 +1,188 @@
+"""An event-driven, message-level execution of Algorithm 3.
+
+The main simulator (:mod:`repro.core.framework`) evaluates the RIPPLE
+templates *recursively* and derives latency analytically (parallel
+branches take the max, sequential iterations the sum).  That is fast, but
+it bakes the cost model into the traversal.  This module provides an
+independent executable semantics: peers are actors exchanging timestamped
+messages through a discrete-event queue, each query forward taking one
+time unit.  Running the same query both ways and comparing answers,
+visited sets, and latencies is a strong cross-validation of the paper's
+cost model — `tests/net/test_eventsim.py` does exactly that.
+
+Conventions matching Section 3.2's analysis (and the recursive engine):
+query forwards cost 1 hop; state responses and answer deliveries are
+accounted as messages but add no propagation delay (Lemma 2 counts only
+the forwards; see :mod:`repro.net.context`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from ..core.framework import PeerLike, SLOW
+from ..core.handler import QueryHandler
+from ..core.regions import Region
+from .context import QueryContext, QueryResult
+
+__all__ = ["EventSimulator", "event_driven_ripple"]
+
+
+class EventSimulator:
+    """A minimal discrete-event engine: (time, fifo) ordered callbacks."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       (self.now + delay, next(self._counter), action))
+
+    def run(self) -> int:
+        """Drain the queue; returns the time of the last event."""
+        last = 0
+        while self._queue:
+            time, _, action = heapq.heappop(self._queue)
+            self.now = last = time
+            action()
+        return last
+
+
+@dataclass
+class _Invocation:
+    """One peer's in-flight execution of Algorithm 3 (sequential mode).
+
+    Mirrors the loop of lines 4-11: examine prioritized links one at a
+    time, suspend on each forward, resume in :meth:`on_response`.
+    """
+
+    sim: EventSimulator
+    ctx: QueryContext
+    handler: QueryHandler
+    peer: PeerLike
+    received_state: Any
+    restriction: Region
+    r: int
+    initiator_id: Hashable
+    on_done: Callable[[list[Any]], None]
+    local_state: Any = None
+    global_state: Any = None
+    pending: list = field(default_factory=list)
+
+    def start(self) -> None:
+        processes = self.ctx.begin_processing(self.peer.peer_id)
+        if processes:
+            self.local_state = self.handler.compute_local_state(
+                self.peer.store, self.received_state)
+        else:
+            self.local_state = self.handler.neutral_local_state()
+        self.global_state = self.handler.compute_global_state(
+            self.received_state, self.local_state)
+        self._processes = processes
+
+        if self.r > 0:
+            self.pending = sorted(
+                self.peer.links(),
+                key=lambda ln: self.handler.link_priority(ln.region))
+            self._advance()
+        else:
+            self._fan_out(processes)
+
+    # -- parallel mode (lines 13-17) --------------------------------------
+
+    def _fan_out(self, processes: bool) -> None:
+        collected: list[Any] = [self.local_state] if processes else []
+        outstanding = 0
+
+        def child_done(states: list[Any]) -> None:
+            nonlocal outstanding
+            collected.extend(states)
+            outstanding -= 1
+            if outstanding == 0:
+                self._finish(collected)
+
+        for link in self.peer.links():
+            sub = link.region.intersect(self.restriction)
+            if sub is None:
+                continue
+            if not self.handler.is_link_relevant(sub, self.global_state):
+                continue
+            outstanding += 1
+            self.ctx.on_forward()
+            child = _Invocation(self.sim, self.ctx, self.handler, link.peer,
+                                self.global_state, sub, 0,
+                                self.initiator_id, child_done)
+            self.sim.schedule(1, child.start)
+        if outstanding == 0:
+            self._finish(collected)
+
+    # -- sequential mode (lines 4-11) --------------------------------------
+
+    def _advance(self) -> None:
+        while self.pending:
+            link = self.pending.pop(0)
+            sub = link.region.intersect(self.restriction)
+            if sub is None:
+                continue
+            if not self.handler.is_link_relevant(sub, self.global_state):
+                continue
+            self.ctx.on_forward()
+            child = _Invocation(self.sim, self.ctx, self.handler, link.peer,
+                                self.global_state, sub, self.r - 1,
+                                self.initiator_id, self._on_response)
+            self.sim.schedule(1, child.start)
+            return  # suspended until the response arrives
+        self._finish([self.local_state])
+
+    def _on_response(self, states: list[Any]) -> None:
+        self.ctx.on_response(len(states))
+        self.local_state = self.handler.update_local_state(
+            [self.local_state, *states])
+        self.global_state = self.handler.compute_global_state(
+            self.received_state, self.local_state)
+        self._advance()
+
+    # -- completion ----------------------------------------------------------
+
+    def _finish(self, upstream: list[Any]) -> None:
+        if self._processes:
+            answer = self.handler.compute_local_answer(self.peer.store,
+                                                       self.local_state)
+            if self.peer.peer_id == self.initiator_id:
+                self.ctx.collected_answers.append(answer)
+            else:
+                self.ctx.on_answer(answer, self.handler.answer_size(answer))
+        # responses travel without propagation delay (see module doc)
+        self.on_done(upstream)
+
+
+def event_driven_ripple(
+    initiator: PeerLike,
+    handler: QueryHandler,
+    r: int = 0,
+    *,
+    restriction: Region,
+    strict: bool = True,
+) -> QueryResult:
+    """Run Algorithm 3 through the discrete-event engine.
+
+    Semantically identical to :func:`repro.core.framework.run_ripple`;
+    latency falls out of message timestamps instead of the recursive
+    max/sum computation.
+    """
+    sim = EventSimulator()
+    ctx = QueryContext(strict=strict)
+    root = _Invocation(sim, ctx, handler, initiator,
+                       handler.initial_state(), restriction,
+                       min(r, SLOW), initiator.peer_id, lambda states: None)
+    sim.schedule(0, root.start)
+    latency = sim.run()
+    answer = handler.finalize(ctx.collected_answers)
+    return QueryResult(answer=answer, stats=ctx.stats(latency))

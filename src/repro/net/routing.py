@@ -1,0 +1,51 @@
+"""Overlay-agnostic greedy DHT routing.
+
+Every RIPPLE-compatible overlay gives each peer link regions that
+partition the domain outside the peer's own zone, so a lookup needs no
+overlay-specific code: forward to the (unique) link whose region contains
+the target key, until no link region does — the current peer is then
+responsible.  Over MIDAS this is the standard O(log n) lookup; over Chord
+it is finger routing; over CAN it follows the frustums greedily.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids a package cycle)
+    from ..core.framework import PeerLike
+
+__all__ = ["greedy_route", "RoutingError"]
+
+_MAX_HOPS = 100_000
+
+
+class RoutingError(RuntimeError):
+    """Routing did not converge (broken region partition or a cycle)."""
+
+
+def greedy_route(start: PeerLike, point: Sequence[float]
+                 ) -> tuple[PeerLike, list[PeerLike]]:
+    """The peer responsible for ``point`` plus the path taken to reach it.
+
+    Returns ``(responsible_peer, path)`` where ``path`` starts at ``start``
+    and ends at the responsible peer; the hop count is ``len(path) - 1``.
+    """
+    peer = start
+    path = [start]
+    seen = {start.peer_id}
+    for _ in range(_MAX_HOPS):
+        next_peer = None
+        for link in peer.links():
+            if link.region.contains(point):
+                next_peer = link.peer
+                break
+        if next_peer is None:
+            return peer, path
+        if next_peer.peer_id in seen:
+            raise RoutingError(
+                f"routing loop at peer {next_peer.peer_id!r} toward {point}")
+        seen.add(next_peer.peer_id)
+        path.append(next_peer)
+        peer = next_peer
+    raise RoutingError(f"no convergence after {_MAX_HOPS} hops toward {point}")

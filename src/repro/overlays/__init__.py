@@ -1,0 +1,17 @@
+"""DHT overlays: MIDAS, CAN, Chord, BATON (+ Z-curve, super-peer tier)."""
+
+from .baton import BatonOverlay, BatonPeer
+from .can import Adjacency, CanOverlay, CanPeer
+from .chord import ChordOverlay, ChordPeer
+from .kdtree import Node, SplitTree
+from .midas import MidasOverlay, MidasPeer
+from .patterns import alive_patterns, matches_any_pattern
+from .superpeer import SuperPeer, SuperPeerNetwork, SuperPeerNode
+from .zcurve import ZCurve
+
+__all__ = [
+    "Adjacency", "BatonOverlay", "BatonPeer", "CanOverlay", "CanPeer",
+    "ChordOverlay", "ChordPeer", "MidasOverlay", "MidasPeer", "Node",
+    "SplitTree", "SuperPeer", "SuperPeerNetwork", "SuperPeerNode",
+    "ZCurve", "alive_patterns", "matches_any_pattern",
+]

@@ -1,0 +1,186 @@
+"""The Chord overlay: a ring DHT with finger tables [15].
+
+Peers sit on the unit ring ``[0, 1)``; a peer owns the arc from its id up
+to its successor's id.  Fingers point at the successors of
+``id + 2^-i``; Section 3.1 assigns the ``i``-th distinct finger the arc
+stretching from the beginning of that finger's zone to the beginning of
+the next finger's zone (and back to the peer's own id for the last one),
+so the finger regions partition the ring outside the peer's own zone —
+exactly what RIPPLE requires.
+
+Chord is hash-organized and one-dimensional, so the genericity
+demonstration runs rank queries over 1-d datasets (the key *is* the
+value).  This is the paper's point in Section 3.1: RIPPLE works on any
+DHT; the multidimensional guarantees come from MIDAS.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..common.geometry import Interval
+from ..common.store import LocalStore
+from ..core.framework import Link
+from ..core.regions import ArcRegion, RectRegion, domain_region
+from ..common.hashing import mix
+
+__all__ = ["ChordPeer", "ChordOverlay"]
+
+
+class ChordPeer:
+    """A Chord peer: a ring id, the arc up to its successor, fingers."""
+
+    __slots__ = ("peer_id", "overlay", "ring_id", "store", "_links")
+
+    def __init__(self, peer_id: int, overlay: "ChordOverlay", ring_id: float):
+        self.peer_id = peer_id
+        self.overlay = overlay
+        self.ring_id = ring_id
+        self.store = LocalStore(1)
+        self._links: tuple[int, list[Link]] | None = None
+
+    @property
+    def zone(self) -> Interval:
+        return Interval(self.ring_id, self.overlay.successor_id(self.ring_id))
+
+    def links(self) -> list[Link]:
+        epoch = self.overlay.epoch
+        if self._links is not None and self._links[0] == epoch:
+            return self._links[1]
+        links = self.overlay.finger_links(self)
+        self._links = (epoch, links)
+        return links
+
+    def __repr__(self) -> str:
+        return f"ChordPeer(id={self.peer_id}, ring={self.ring_id:.4f})"
+
+
+class ChordOverlay:
+    """An omniscient simulation of a Chord ring."""
+
+    def __init__(self, *, size: int = 1, seed: int = 0):
+        self.rng = np.random.default_rng(mix(seed, 0xC0D))
+        self.epoch = 0
+        self._peers: list[ChordPeer] = []   # kept sorted by ring_id
+        self._next_id = 0
+        self.grow_to(max(1, size))
+
+    # -- ring bookkeeping ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def peers(self) -> Sequence[ChordPeer]:
+        return self._peers
+
+    def iter_peers(self) -> Iterator[ChordPeer]:
+        return iter(self._peers)
+
+    def random_peer(self, rng: np.random.Generator | None = None) -> ChordPeer:
+        rng = rng or self.rng
+        return self._peers[int(rng.integers(len(self._peers)))]
+
+    def domain(self) -> RectRegion:
+        return domain_region(1)
+
+    def _ring_ids(self) -> list[float]:
+        return [p.ring_id for p in self._peers]
+
+    def successor_id(self, ring_id: float) -> float:
+        """The ring id of the next peer clockwise (itself if alone)."""
+        ids = self._ring_ids()
+        index = bisect.bisect_right(ids, ring_id)
+        return ids[index % len(ids)]
+
+    def owner(self, key: float) -> ChordPeer:
+        """The peer whose arc contains ``key``."""
+        ids = self._ring_ids()
+        index = bisect.bisect_right(ids, key % 1.0) - 1
+        return self._peers[index % len(self._peers)]
+
+    # -- churn -------------------------------------------------------------------
+
+    def join(self) -> ChordPeer:
+        ring_id = float(self.rng.random())
+        while any(p.ring_id == ring_id for p in self._peers):
+            ring_id = float(self.rng.random())
+        peer = ChordPeer(self._next_id, self, ring_id)
+        self._next_id += 1
+        if self._peers:
+            predecessor = self.owner(ring_id)
+            bisect.insort(self._peers, peer, key=lambda p: p.ring_id)
+            self.epoch += 1
+            # the new peer takes over the tail of its predecessor's arc
+            moved = [(k,) for (k,) in predecessor.store.iter_points()
+                     if peer.zone.contains(k)]
+            if moved:
+                remaining = [(k,) for (k,) in predecessor.store.iter_points()
+                             if not peer.zone.contains(k)]
+                predecessor.store = LocalStore(1, remaining)
+                peer.store = LocalStore(1, moved)
+        else:
+            self._peers.append(peer)
+            self.epoch += 1
+        return peer
+
+    def leave(self, peer: ChordPeer | None = None) -> None:
+        if len(self._peers) <= 1:
+            raise ValueError("cannot remove the last peer")
+        peer = peer or self.random_peer()
+        index = self._peers.index(peer)
+        predecessor = self._peers[index - 1]
+        predecessor.store.bulk_load(peer.store.take_all())
+        self._peers.pop(index)
+        self.epoch += 1
+
+    def grow_to(self, size: int) -> None:
+        while len(self._peers) < size:
+            self.join()
+
+    # -- data ---------------------------------------------------------------------
+
+    def load(self, array: np.ndarray) -> None:
+        """Distribute 1-d tuples: the key of a tuple is its value."""
+        array = np.asarray(array, dtype=float).reshape(-1, 1)
+        for row in array:
+            self.owner(float(row[0])).store.insert((float(row[0]),))
+
+    def total_tuples(self) -> int:
+        return sum(len(p.store) for p in self._peers)
+
+    # -- fingers --------------------------------------------------------------------
+
+    def finger_resolution(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, len(self._peers)))) + 2)
+
+    def finger_links(self, peer: ChordPeer) -> list[Link]:
+        """Distinct fingers plus their ring-arc regions (Section 3.1)."""
+        if len(self._peers) == 1:
+            return []
+        # Chord peers always hold an explicit successor pointer; the
+        # remaining fingers are the successors of id + 2^-i.
+        successor = self.owner(peer.zone.end)
+        targets: list[ChordPeer] = [successor]
+        seen: set[int] = {peer.peer_id, successor.peer_id}
+        for i in range(self.finger_resolution(), 0, -1):
+            finger = self.owner((peer.ring_id + 2.0 ** -i) % 1.0)
+            # Chord fingers are the successors *at or after* the target
+            # point; owner() returns the arc owner, whose successor is the
+            # textbook finger when the target is mid-arc.
+            if finger.ring_id != (peer.ring_id + 2.0 ** -i) % 1.0:
+                finger = self.owner(finger.zone.end)
+            if finger.peer_id not in seen:
+                seen.add(finger.peer_id)
+                targets.append(finger)
+        # order fingers clockwise starting just after the peer's own zone
+        targets.sort(key=lambda p: (p.ring_id - peer.ring_id) % 1.0)
+        links = []
+        for current, nxt in zip(targets, targets[1:] + [None]):
+            end = peer.ring_id if nxt is None else nxt.ring_id
+            region = ArcRegion.from_interval(Interval(current.ring_id, end))
+            links.append(Link(peer=current, region=region))
+        return links

@@ -1,0 +1,187 @@
+"""The virtual binary split tree underlying MIDAS (and our CAN builder).
+
+MIDAS organizes peers as the leaves of a *virtual k-d tree* (Section 2.3):
+each internal node splits its rectangle along some dimension, each leaf is
+a peer's zone, and a node's identifier is its root path (left = 0,
+right = 1).  The tree is "virtual" in that no peer stores it whole; the
+simulator, being omniscient, keeps it as a concrete structure and lets
+peers look at exactly the parts the protocol grants them (their path and
+their sibling subtrees).
+
+CAN zones produced by CAN's midpoint-split join protocol form the same
+structure, so :class:`SplitTree` is shared by both overlays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..common.geometry import Rect
+
+__all__ = ["Node", "SplitTree"]
+
+
+class Node:
+    """One node of the split tree.
+
+    A node is created once and never re-parented: its ``path`` (the id of
+    Section 2.3) is fixed at birth.  Leaves carry the owning peer in
+    ``payload``; internal nodes carry the split plane and two children.
+    """
+
+    __slots__ = ("rect", "parent", "path", "split_dim", "split_value",
+                 "left", "right", "payload")
+
+    def __init__(self, rect: Rect, parent: "Node | None", bit: int | None):
+        self.rect = rect
+        self.parent = parent
+        self.path: tuple[int, ...] = (
+            () if parent is None else parent.path + (bit,))
+        self.split_dim: int | None = None
+        self.split_value: float | None = None
+        self.left: "Node | None" = None
+        self.right: "Node | None" = None
+        self.payload: Any = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split_dim is None
+
+    def child(self, bit: int) -> "Node":
+        if self.is_leaf:
+            raise ValueError("leaf has no children")
+        return self.left if bit == 0 else self.right  # type: ignore[return-value]
+
+    def id_string(self) -> str:
+        """The binary identifier of Figure 1 (empty for the root)."""
+        return "".join(str(b) for b in self.path)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "node"
+        return f"<{kind} {self.id_string() or 'root'}>"
+
+
+class SplitTree:
+    """A mutable binary space partition of the unit domain."""
+
+    def __init__(self, dims: int):
+        self.dims = dims
+        self.root = Node(Rect.unit(dims), None, None)
+        self.leaf_count = 1
+        #: Incremented by every structural change; used by peers to cache
+        #: link tables between churn events.
+        self.epoch = 0
+
+    # -- queries --------------------------------------------------------
+
+    def locate(self, point: Sequence[float]) -> Node:
+        """The leaf whose (half-open) zone contains ``point``."""
+        node = self.root
+        while not node.is_leaf:
+            bit = 0 if point[node.split_dim] < node.split_value else 1
+            node = node.child(bit)
+        return node
+
+    def iter_leaves(self, node: Node | None = None) -> Iterator[Node]:
+        node = node or self.root
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                yield current
+            else:
+                stack.append(current.right)  # type: ignore[arg-type]
+                stack.append(current.left)  # type: ignore[arg-type]
+
+    def max_depth(self) -> int:
+        return max(leaf.depth for leaf in self.iter_leaves())
+
+    def sibling_subtrees(self, leaf: Node) -> list[Node]:
+        """Sibling subtree roots along ``leaf``'s root path, depth 1 first.
+
+        Entry ``i-1`` is the subtree rooted at depth ``i`` whose id differs
+        from the leaf's in the ``i``-th bit — the home of the peer's
+        ``i``-th MIDAS link.
+        """
+        siblings: list[Node] = []
+        node = leaf
+        while node.parent is not None:
+            bit = node.path[-1]
+            siblings.append(node.parent.child(1 - bit))
+            node = node.parent
+        siblings.reverse()
+        return siblings
+
+    # -- mutation ---------------------------------------------------------
+
+    def split_leaf(self, leaf: Node, dim: int, value: float) -> tuple[Node, Node]:
+        """Split ``leaf`` into two children; returns (left, right)."""
+        if not leaf.is_leaf:
+            raise ValueError("can only split a leaf")
+        lo_rect, hi_rect = leaf.rect.split(dim, value)
+        leaf.split_dim = dim
+        leaf.split_value = value
+        leaf.left = Node(lo_rect, leaf, 0)
+        leaf.right = Node(hi_rect, leaf, 1)
+        leaf.payload = None
+        self.leaf_count += 1
+        self.epoch += 1
+        return leaf.left, leaf.right
+
+    def merge_children(self, parent: Node) -> Node:
+        """Collapse an internal node whose children are both leaves."""
+        if parent.is_leaf:
+            raise ValueError("cannot merge a leaf")
+        if not (parent.left.is_leaf and parent.right.is_leaf):  # type: ignore[union-attr]
+            raise ValueError("children must both be leaves")
+        parent.split_dim = None
+        parent.split_value = None
+        parent.left = None
+        parent.right = None
+        self.leaf_count -= 1
+        self.epoch += 1
+        return parent
+
+    def find_leaf_pair(self, node: Node) -> Node:
+        """An internal node under ``node`` whose children are both leaves.
+
+        Such a node always exists in any non-leaf subtree (descend into an
+        internal child until none is left); it is the contraction point
+        used when a peer departs.
+        """
+        if node.is_leaf:
+            raise ValueError("subtree is a single leaf")
+        current = node
+        while True:
+            left, right = current.left, current.right
+            if left.is_leaf and right.is_leaf:  # type: ignore[union-attr]
+                return current
+            current = right if left.is_leaf else left  # type: ignore[union-attr, assignment]
+
+    # -- bulk data distribution -----------------------------------------
+
+    def partition(
+        self,
+        array: np.ndarray,
+        deliver: Callable[[Node, np.ndarray], None],
+        node: Node | None = None,
+    ) -> None:
+        """Route every row of ``array`` to its leaf, vectorized per level."""
+        array = np.asarray(array, dtype=float)
+        stack = [(node or self.root, array)]
+        while stack:
+            current, rows = stack.pop()
+            if len(rows) == 0:
+                continue
+            if current.is_leaf:
+                deliver(current, rows)
+                continue
+            mask = rows[:, current.split_dim] < current.split_value
+            stack.append((current.left, rows[mask]))  # type: ignore[arg-type]
+            stack.append((current.right, rows[~mask]))  # type: ignore[arg-type]

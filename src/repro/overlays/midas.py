@@ -1,0 +1,310 @@
+"""The MIDAS overlay: a DHT shaped as a virtual k-d tree (Section 2.3).
+
+Every peer is a leaf of the split tree and stores the tuples of its zone.
+Peer ``w`` keeps one link per depth ``i <= w.depth``, pointing at *some*
+peer inside the sibling subtree rooted at depth ``i``; RIPPLE assigns that
+whole sibling subtree's rectangle as the link's region, which makes the
+regions of ``w``'s links an exact partition of the domain minus ``w``'s
+zone — the property the framework's restriction areas rely on.
+
+Which peer inside a sibling subtree becomes the link target is a *policy*:
+
+* ``"random"`` — the original MIDAS choice (any peer of the subtree).
+* ``"boundary"`` — the Section 5.2 optimization: prefer a peer whose
+  identifier matches a boundary pattern (see
+  :mod:`repro.overlays.patterns`), i.e. one whose zone hugs the lower
+  domain boundary where skyline tuples live.
+
+Churn: joins route to a uniformly random key and split the hosting leaf
+(alternating split dimension, midpoint or data-median split value);
+departures contract the tree, promoting a peer from the sibling subtree
+when the sibling is not a leaf — the replacement scheme of the MIDAS paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal, Sequence
+
+import numpy as np
+
+from ..common.geometry import Point, Rect
+from ..common.hashing import mix, path_key
+from ..common.store import LocalStore
+from ..core.framework import Link
+from ..core.regions import RectRegion, domain_region
+from .kdtree import Node, SplitTree
+from .patterns import alive_patterns
+
+__all__ = ["MidasPeer", "MidasOverlay"]
+
+LinkPolicy = Literal["random", "boundary"]
+SplitRule = Literal["midpoint", "median"]
+JoinPolicy = Literal["uniform", "data"]
+
+
+class MidasPeer:
+    """A MIDAS peer: one leaf of the virtual k-d tree."""
+
+    __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor", "_links")
+
+    def __init__(self, peer_id: int, overlay: "MidasOverlay", leaf: Node,
+                 anchor: Point):
+        self.peer_id = peer_id
+        self.overlay = overlay
+        self.leaf = leaf
+        self.store = LocalStore(overlay.dims)
+        self.anchor = anchor
+        self._links: tuple[int, list[Link]] | None = None
+
+    @property
+    def zone(self) -> Rect:
+        return self.leaf.rect
+
+    @property
+    def depth(self) -> int:
+        return self.leaf.depth
+
+    @property
+    def path(self) -> tuple[int, ...]:
+        return self.leaf.path
+
+    def id_string(self) -> str:
+        return self.leaf.id_string()
+
+    def links(self) -> list[Link]:
+        """One link per depth; regions are the sibling subtree rectangles.
+
+        The link table is recomputed lazily after churn (the overlay's
+        epoch counter invalidates the cache).
+        """
+        epoch = self.overlay.tree.epoch
+        if self._links is not None and self._links[0] == epoch:
+            return self._links[1]
+        links = []
+        for subtree in self.overlay.tree.sibling_subtrees(self.leaf):
+            target = self.overlay.representative(subtree, self)
+            links.append(Link(peer=target, region=RectRegion(subtree.rect)))
+        self._links = (epoch, links)
+        return links
+
+    def __repr__(self) -> str:
+        return f"MidasPeer(id={self.peer_id}, path={self.id_string() or 'root'})"
+
+
+class MidasOverlay:
+    """An omniscient simulation of a MIDAS network."""
+
+    def __init__(
+        self,
+        dims: int,
+        *,
+        size: int = 1,
+        seed: int = 0,
+        link_policy: LinkPolicy = "random",
+        split_rule: SplitRule = "midpoint",
+        join_policy: JoinPolicy = "uniform",
+    ):
+        self.dims = dims
+        self.seed = seed
+        self.link_policy: LinkPolicy = link_policy
+        self.split_rule: SplitRule = split_rule
+        self.join_policy: JoinPolicy = join_policy
+        self._data_pool: list[np.ndarray] = []
+        self._pool_sizes: list[int] = []
+        self.tree = SplitTree(dims)
+        self.rng = np.random.default_rng(mix(seed, 0xD147))
+        self._peers: list[MidasPeer] = []
+        self._next_id = 0
+        first = self._new_peer(self.tree.root)
+        self.tree.root.payload = first
+        self.grow_to(size)
+
+    # -- registry ---------------------------------------------------------
+
+    def _new_peer(self, leaf: Node) -> MidasPeer:
+        peer = MidasPeer(self._next_id, self, leaf, leaf.rect.sample(self.rng))
+        self._next_id += 1
+        self._peers.append(peer)
+        return peer
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def peers(self) -> Sequence[MidasPeer]:
+        return self._peers
+
+    def iter_peers(self) -> Iterator[MidasPeer]:
+        return iter(self._peers)
+
+    def random_peer(self, rng: np.random.Generator | None = None) -> MidasPeer:
+        rng = rng or self.rng
+        return self._peers[int(rng.integers(len(self._peers)))]
+
+    def locate(self, point: Sequence[float]) -> MidasPeer:
+        return self.tree.locate(point).payload
+
+    def domain(self) -> RectRegion:
+        return domain_region(self.dims)
+
+    def max_links(self) -> int:
+        """The paper's Delta: the largest link count of any peer."""
+        return max(peer.depth for peer in self._peers)
+
+    # -- churn ------------------------------------------------------------
+
+    def join(self) -> MidasPeer:
+        """A new physical peer joins.
+
+        Under the ``"uniform"`` policy the joiner lands at a uniformly
+        random key.  Under ``"data"`` it lands at the key of a random
+        stored tuple, so peer density tracks data density — the effect of
+        MIDAS' load-driven splitting, and the balanced setting the paper's
+        experiments presume.
+        """
+        point = self._join_point()
+        host_leaf = self.tree.locate(point)
+        return self._split_host(host_leaf, point)
+
+    def _join_point(self) -> Point:
+        if self.join_policy == "data" and self._pool_sizes:
+            total = self._pool_sizes[-1]
+            pick = int(self.rng.integers(total))
+            for block, cumulative in zip(self._data_pool, self._pool_sizes):
+                if pick < cumulative:
+                    row = block[pick - (cumulative - len(block))]
+                    return tuple(float(v) for v in row)
+        return tuple(float(v) for v in self.rng.random(self.dims))
+
+    def _split_host(self, host_leaf: Node, point: Point) -> MidasPeer:
+        host: MidasPeer = host_leaf.payload
+        dim = host_leaf.depth % self.dims
+        value = self._split_value(host_leaf, dim)
+        left, right = self.tree.split_leaf(host_leaf, dim, value)
+        host_child = left if host.anchor[dim] < value else right
+        new_child = right if host_child is left else left
+        host.leaf = host_child
+        host_child.payload = host
+        joining_anchor = point if new_child.rect.contains(point) \
+            else new_child.rect.sample(self.rng)
+        joiner = self._new_peer(new_child)
+        joiner.anchor = joining_anchor
+        new_child.payload = joiner
+        joiner.store.bulk_load(host.store.extract(new_child.rect))
+        return joiner
+
+    def _split_value(self, leaf: Node, dim: int) -> float:
+        lo, hi = leaf.rect.lo[dim], leaf.rect.hi[dim]
+        if self.split_rule == "median" and len(leaf.payload.store) >= 2:
+            median = float(np.median(leaf.payload.store.array[:, dim]))
+            if lo < median < hi:
+                return median
+        return (lo + hi) / 2.0
+
+    def leave(self, peer: MidasPeer | None = None) -> None:
+        """A peer departs; its zone is absorbed per the MIDAS protocol."""
+        if len(self._peers) <= 1:
+            raise ValueError("cannot remove the last peer")
+        peer = peer or self.random_peer()
+        leaf = peer.leaf
+        parent = leaf.parent
+        assert parent is not None
+        sibling = parent.child(1 - leaf.path[-1])
+        if sibling.is_leaf:
+            survivor: MidasPeer = sibling.payload
+            survivor.store.bulk_load(peer.store.take_all())
+            merged = self.tree.merge_children(parent)
+            merged.payload = survivor
+            survivor.leaf = merged
+        else:
+            # Promote a peer from a deepest leaf pair of the sibling
+            # subtree: its twin absorbs its zone, and it adopts the
+            # departing peer's zone and tuples.
+            pair = self.tree.find_leaf_pair(sibling)
+            mover: MidasPeer = pair.right.payload  # type: ignore[union-attr]
+            absorber: MidasPeer = pair.left.payload  # type: ignore[union-attr]
+            absorber.store.bulk_load(mover.store.take_all())
+            merged = self.tree.merge_children(pair)
+            merged.payload = absorber
+            absorber.leaf = merged
+            leaf.payload = mover
+            mover.leaf = leaf
+            mover.store = peer.store
+            mover.anchor = leaf.rect.sample(self.rng)
+        self._peers.remove(peer)
+
+    def grow_to(self, size: int) -> None:
+        while len(self._peers) < size:
+            self.join()
+
+    def shrink_to(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("network size must stay positive")
+        while len(self._peers) > size:
+            self.leave()
+
+    # -- data -------------------------------------------------------------
+
+    def load(self, array: np.ndarray) -> None:
+        """Distribute a dataset to the peers owning each tuple's key."""
+        array = np.asarray(array, dtype=float)
+        self.tree.partition(
+            array, lambda leaf, rows: leaf.payload.store.bulk_load(rows))
+        self._data_pool.append(array)
+        previous = self._pool_sizes[-1] if self._pool_sizes else 0
+        self._pool_sizes.append(previous + len(array))
+
+    def total_tuples(self) -> int:
+        return sum(len(peer.store) for peer in self._peers)
+
+    # -- link targets -------------------------------------------------------
+
+    def representative(self, subtree: Node, owner: MidasPeer) -> MidasPeer:
+        """The peer inside ``subtree`` that ``owner`` links to."""
+        if self.link_policy == "boundary":
+            alive = alive_patterns(subtree.path, self.dims)
+            if alive:
+                return self._boundary_descent(subtree, owner, sorted(alive))
+        return self._random_descent(subtree, owner)
+
+    def _random_descent(self, subtree: Node, owner: MidasPeer) -> MidasPeer:
+        node = subtree
+        while not node.is_leaf:
+            bit = mix(self.seed, owner.peer_id, path_key(node.path)) & 1
+            node = node.child(bit)
+        return node.payload
+
+    def _boundary_descent(self, subtree: Node, owner: MidasPeer,
+                          alive: list[int]) -> MidasPeer:
+        """Descend to a leaf whose id matches a still-alive boundary pattern.
+
+        Free positions (``i mod D == j``) are chosen pseudo-randomly to
+        spread link targets across the boundary; constrained positions
+        must take the 0 child, which always exists in a binary tree.
+        """
+        choice = mix(self.seed, owner.peer_id, path_key(subtree.path), 0xB0)
+        pattern = alive[choice % len(alive)]
+        node = subtree
+        while not node.is_leaf:
+            if node.depth % self.dims == pattern:
+                bit = mix(self.seed, owner.peer_id, path_key(node.path)) & 1
+            else:
+                bit = 0
+            node = node.child(bit)
+        return node.payload
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def complete(cls, dims: int, depth: int, *, seed: int = 0,
+                 link_policy: LinkPolicy = "random") -> "MidasOverlay":
+        """A perfectly balanced overlay of ``2**depth`` peers.
+
+        Used by the latency-analysis tests: on a complete tree the
+        worst-case formulas of Lemmas 1-3 are attained exactly.
+        """
+        overlay = cls(dims, seed=seed, link_policy=link_policy)
+        for _ in range(depth):
+            for leaf in list(overlay.tree.iter_leaves()):
+                point = leaf.rect.center
+                overlay._split_host(leaf, point)
+        return overlay

@@ -1,0 +1,41 @@
+"""Boundary identifier patterns (Section 5.2).
+
+With the split dimension alternating by depth, a peer whose identifier has
+a ``0`` at every position *not* congruent to ``j`` modulo ``D`` owns a zone
+touching the lower domain boundary of every dimension except ``j``:
+
+    p_j = positions i with i mod D != j carry 0, the rest are free (X).
+
+Such "border peers" are where skyline tuples live, so the optimized MIDAS
+link policy targets them.  Crucially the patterns are prefix-closed — once
+a prefix violates every pattern, no descendant identifier can match — so a
+pattern-matching leaf can be found (or ruled out) by a single root-to-leaf
+descent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["alive_patterns", "matches_any_pattern"]
+
+
+def alive_patterns(path: Iterable[int], dims: int) -> frozenset[int]:
+    """Pattern indices ``j`` that the identifier prefix can still match.
+
+    For a full identifier this is the set of patterns it matches; for a
+    prefix, the set of patterns some extension could match.  Empty means
+    the subtree rooted at this prefix contains no border peer.
+    """
+    alive = set(range(dims))
+    for position, bit in enumerate(path):
+        if bit == 1:
+            alive &= {position % dims}
+            if not alive:
+                break
+    return frozenset(alive)
+
+
+def matches_any_pattern(path: Iterable[int], dims: int) -> bool:
+    """True when the identifier matches at least one boundary pattern."""
+    return bool(alive_patterns(path, dims))

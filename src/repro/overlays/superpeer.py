@@ -1,0 +1,79 @@
+"""A super-peer topology (the unstructured-network setting of Section 2.1).
+
+SPEERTO [17] and its relatives run over two-tier unstructured networks:
+ordinary nodes hold horizontal data partitions and attach to a
+super-peer; super-peers form a small overlay among themselves and answer
+queries on behalf of their nodes.  There is no content-aware placement —
+which is exactly why these systems need per-node precomputation
+(k-skybands) instead of RIPPLE-style region pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.store import LocalStore
+
+__all__ = ["SuperPeer", "SuperPeerNode", "SuperPeerNetwork"]
+
+
+class SuperPeerNode:
+    """An ordinary node: a horizontal partition attached to a super-peer."""
+
+    __slots__ = ("node_id", "super_peer", "store")
+
+    def __init__(self, node_id: int, super_peer: "SuperPeer", dims: int):
+        self.node_id = node_id
+        self.super_peer = super_peer
+        self.store = LocalStore(dims)
+
+
+class SuperPeer:
+    """A super-peer: serves its attached nodes, links to all super-peers.
+
+    Super-peers form a clique (the common simulation assumption for small
+    super-peer backbones); ``cache`` holds whatever per-node
+    precomputation the algorithm on top installs (SPEERTO: aggregated
+    k-skybands).
+    """
+
+    __slots__ = ("peer_id", "nodes", "cache")
+
+    def __init__(self, peer_id: int):
+        self.peer_id = peer_id
+        self.nodes: list[SuperPeerNode] = []
+        self.cache: dict = {}
+
+
+class SuperPeerNetwork:
+    """Two-tier network: ``super_peers`` cliques, nodes round-robined."""
+
+    def __init__(self, dims: int, *, super_peers: int, nodes_per_super: int,
+                 seed: int = 0):
+        if super_peers < 1 or nodes_per_super < 1:
+            raise ValueError("need at least one super-peer and node")
+        self.dims = dims
+        self.rng = np.random.default_rng(seed ^ 0x59E6)
+        self.super_peers = [SuperPeer(i) for i in range(super_peers)]
+        self.nodes: list[SuperPeerNode] = []
+        for index in range(super_peers * nodes_per_super):
+            owner = self.super_peers[index % super_peers]
+            node = SuperPeerNode(index, owner, dims)
+            owner.nodes.append(node)
+            self.nodes.append(node)
+
+    def load(self, array: np.ndarray) -> None:
+        """Scatter tuples over nodes uniformly (no content-aware placement
+        exists in an unstructured network)."""
+        array = np.asarray(array, dtype=float)
+        assignment = self.rng.integers(len(self.nodes), size=len(array))
+        for index, node in enumerate(self.nodes):
+            node.store.bulk_load(array[assignment == index])
+
+    def total_tuples(self) -> int:
+        return sum(len(node.store) for node in self.nodes)
+
+    def random_node(self, rng: np.random.Generator | None = None
+                    ) -> SuperPeerNode:
+        rng = rng or self.rng
+        return self.nodes[int(rng.integers(len(self.nodes)))]

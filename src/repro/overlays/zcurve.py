@@ -1,0 +1,116 @@
+"""Z-order (Morton) curve: the multi-dim → 1-d mapping SSP relies on.
+
+BATON manages a one-dimensional key space, so SSP [18] maps tuples through
+a Z-curve.  Besides encoding, skyline pruning over BATON needs to reason
+about *key ranges*: a contiguous Z-range decomposes into O(bits) maximal
+quadtree cells, each an axis-aligned rectangle, and a peer's range can be
+pruned when every cell is dominated (see :mod:`repro.baselines.ssp`).
+
+Bits are interleaved dimension-major: bit level 0 of every dimension
+first (dim 0's most significant bit is the encoded key's most significant
+bit), so lexicographic key order follows the familiar Z pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..common.geometry import Rect
+
+__all__ = ["ZCurve"]
+
+
+class ZCurve:
+    """A fixed-resolution Morton codec over the unit cube."""
+
+    def __init__(self, dims: int, bits_per_dim: int = 10):
+        if dims <= 0 or bits_per_dim <= 0:
+            raise ValueError("dims and bits_per_dim must be positive")
+        if dims * bits_per_dim > 62:
+            raise ValueError("total bits must fit in a 62-bit key")
+        self.dims = dims
+        self.bits_per_dim = bits_per_dim
+        self.total_bits = dims * bits_per_dim
+        self.max_key = (1 << self.total_bits) - 1
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, point: Sequence[float]) -> int:
+        """The Morton key of a point in ``[0, 1)^dims``."""
+        if len(point) != self.dims:
+            raise ValueError(f"expected {self.dims}-d point")
+        scale = 1 << self.bits_per_dim
+        coords = [min(scale - 1, max(0, int(v * scale))) for v in point]
+        key = 0
+        for level in range(self.bits_per_dim - 1, -1, -1):
+            for coord in coords:
+                key = (key << 1) | ((coord >> level) & 1)
+        return key
+
+    def encode_batch(self, array: np.ndarray) -> np.ndarray:
+        """Morton keys for an ``(m, dims)`` array."""
+        array = np.asarray(array, dtype=float)
+        scale = 1 << self.bits_per_dim
+        coords = np.clip((array * scale).astype(np.int64), 0, scale - 1)
+        keys = np.zeros(len(array), dtype=np.int64)
+        for level in range(self.bits_per_dim - 1, -1, -1):
+            for dim in range(self.dims):
+                keys = (keys << 1) | ((coords[:, dim] >> level) & 1)
+        return keys
+
+    # -- cells ----------------------------------------------------------------
+
+    def cell_rect(self, prefix: int, prefix_bits: int) -> Rect:
+        """The rectangle of the quadtree cell with the given key prefix.
+
+        A cell is the set of keys sharing ``prefix_bits`` leading bits; its
+        shadow in space is a box whose dimension ``d`` has resolution
+        ``ceil((prefix_bits - d) / dims)`` bits.
+        """
+        if not 0 <= prefix_bits <= self.total_bits:
+            raise ValueError("prefix_bits out of range")
+        per_dim_bits = [0] * self.dims
+        per_dim_val = [0] * self.dims
+        for position in range(prefix_bits):
+            dim = position % self.dims
+            bit = (prefix >> (prefix_bits - 1 - position)) & 1
+            per_dim_val[dim] = (per_dim_val[dim] << 1) | bit
+            per_dim_bits[dim] += 1
+        lo, hi = [], []
+        for val, bits in zip(per_dim_val, per_dim_bits):
+            size = 1.0 / (1 << bits)
+            lo.append(val * size)
+            hi.append((val + 1) * size)
+        return Rect(tuple(lo), tuple(hi))
+
+    def range_cells(self, lo_key: int, hi_key: int
+                    ) -> Iterator[tuple[int, int]]:
+        """Maximal cells covering the inclusive key range ``[lo, hi]``.
+
+        Yields ``(prefix, prefix_bits)`` pairs — the canonical segment-tree
+        cover, O(total_bits) cells for any range.
+        """
+        if lo_key > hi_key:
+            return
+        lo_key = max(0, lo_key)
+        hi_key = min(self.max_key, hi_key)
+        stack = [(0, 0)]
+        while stack:
+            prefix, bits = stack.pop()
+            shift = self.total_bits - bits
+            cell_lo = prefix << shift
+            cell_hi = cell_lo + (1 << shift) - 1
+            if cell_hi < lo_key or cell_lo > hi_key:
+                continue
+            if lo_key <= cell_lo and cell_hi <= hi_key:
+                yield prefix, bits
+                continue
+            stack.append((prefix << 1, bits + 1))
+            stack.append(((prefix << 1) | 1, bits + 1))
+
+    def range_rects(self, lo_key: int, hi_key: int) -> list[Rect]:
+        """The rectangles of :meth:`range_cells`."""
+        return [self.cell_rect(prefix, bits)
+                for prefix, bits in self.range_cells(lo_key, hi_key)]

@@ -1,0 +1,143 @@
+"""Seeded query drivers: route first, then ripple.
+
+A rank query started cold at an arbitrary peer cannot prune anything until
+its state certifies enough tuples (Algorithm 8's ``m < k`` clause), so the
+parallel extreme degenerates to flooding on sparse networks.  Every
+distributed rank-query system this paper builds on avoids that by starting
+work where the answer lives: SSP "starts only at the peer responsible for
+the region containing the origin of the data space", DSL roots its
+multicast hierarchy at the origin-corner peer, and the Section 5.2 MIDAS
+optimization aims links at boundary peers for the same reason.
+
+The drivers here reconstruct that behaviour for RIPPLE (see DESIGN.md,
+"Substitutions"): the initiator first routes an O(log n) lookup toward a
+query-specific *seed point* (the maximizer of the scoring function, the
+domain origin for skylines).  Peers along the route piggyback their local
+states and candidate tuples onto the lookup, so the ripple phase starts at
+the seed peer with a warm global state and prunes from its first hop.
+Routing hops count toward latency; routing peers process the query and
+count toward congestion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from ..common.geometry import Point
+from ..core.framework import PeerLike, execute
+from ..core.handler import QueryHandler
+from ..core.regions import Region
+from ..net.context import QueryContext, QueryResult
+from ..net.routing import greedy_route
+
+__all__ = ["run_seeded"]
+
+#: Upper bound on best-first probe visits; a safety valve, never the
+#: stopping rule in practice (the handler's ``seed_satisfied`` is).
+_PROBE_BUDGET = 256
+
+#: The probe stops after this many consecutive visits without improving
+#: the handler's ``probe_score`` (once ``seed_satisfied`` holds).
+_PROBE_PATIENCE = 5
+
+
+def run_seeded(
+    initiator: PeerLike,
+    handler: QueryHandler,
+    r: int,
+    *,
+    restriction: Region,
+    seed_point: Sequence[float] | Point,
+    strict: bool = True,
+    initial_state=None,
+) -> QueryResult:
+    """Route to the peer owning ``seed_point``, then ripple from there.
+
+    Every peer on the route contributes its local state to the query's
+    global state and ships its local candidates to the initiator, exactly
+    as a processed peer would; the ripple phase then starts at the seed
+    peer with that warm state.  Routed-through peers are marked processed,
+    so the main phase treats them as already-visited (they may legally be
+    reached again, contributing nothing twice).
+    """
+    seed_peer, path = greedy_route(initiator, seed_point)
+    ctx = QueryContext(strict=strict)
+    state = handler.initial_state() if initial_state is None else initial_state
+    for peer in path[:-1]:
+        state, _ = _probe_peer(ctx, handler, peer, state, initiator.peer_id)
+        ctx.on_forward()
+    base_latency = len(path) - 1
+    state, probe_hops = _best_first_probe(
+        ctx, handler, seed_peer, state, initiator.peer_id)
+    return execute(seed_peer, handler, r, restriction=restriction, ctx=ctx,
+                   initial_state=state, base_latency=base_latency + probe_hops,
+                   answers_to=initiator.peer_id)
+
+
+def _probe_peer(ctx: QueryContext, handler: QueryHandler, peer: PeerLike,
+                state, initiator_id) -> tuple[object, object]:
+    """Process one peer during seeding.
+
+    Returns the enriched global state plus the peer's own local state.
+    """
+    if not ctx.begin_processing(peer.peer_id):
+        return state, handler.neutral_local_state()
+    ctx.revisitable.add(peer.peer_id)
+    local = handler.compute_local_state(peer.store, state)
+    state = handler.compute_global_state(state, local)
+    answer = handler.compute_local_answer(peer.store, local)
+    if peer.peer_id == initiator_id:
+        ctx.collected_answers.append(answer)
+    else:
+        ctx.on_answer(answer, handler.answer_size(answer))
+    return state, local
+
+
+def _best_first_probe(ctx: QueryContext, handler: QueryHandler,
+                      seed_peer: PeerLike, state, initiator_id
+                      ) -> tuple[object, int]:
+    """Sequentially visit the most promising regions around the seed.
+
+    A short branch-and-bound walk: pop the best-priority link region seen
+    so far, process its peer, push that peer's links, and stop once the
+    states *gathered by the probe itself* satisfy the handler
+    (``seed_satisfied``).  Judging saturation on the probe's own harvest —
+    not on whatever the routing path happened to contribute — matters:
+    the probe chases the best regions of the domain, so its harvest
+    approximates the true answer's scores, giving the parallel extreme
+    (r = 0) a pruning-grade threshold before it fans out.  With
+    ``seed_satisfied`` returning True immediately (the default) the probe
+    degenerates to processing the seed peer only.
+    """
+    counter = itertools.count()
+    frontier: list[tuple[float, int, PeerLike, Region]] = []
+
+    def push_links(peer: PeerLike) -> None:
+        for link in peer.links():
+            if link.peer.peer_id not in ctx.processed:
+                heapq.heappush(frontier, (handler.link_priority(link.region),
+                                          next(counter), link.peer,
+                                          link.region))
+
+    state, gathered = _probe_peer(ctx, handler, seed_peer, state, initiator_id)
+    hops = 0
+    stale = 0
+    push_links(seed_peer)
+    while frontier and hops < _PROBE_BUDGET:
+        if handler.seed_satisfied(gathered) and stale >= _PROBE_PATIENCE:
+            break
+        _, _, peer, region = heapq.heappop(frontier)
+        if peer.peer_id in ctx.processed:
+            continue
+        if not handler.is_link_relevant(region, state):
+            continue
+        ctx.on_forward()
+        hops += 1
+        before = handler.probe_score(gathered)
+        state, local = _probe_peer(ctx, handler, peer, state, initiator_id)
+        gathered = handler.update_local_state((gathered, local))
+        stale = stale + 1 if handler.probe_score(gathered) <= before else 0
+        push_links(peer)
+    return state, hops

@@ -1,0 +1,266 @@
+"""Skyline query processing with RIPPLE (Section 5, Algorithms 10-15).
+
+The abstract state is a *partial skyline*: a set of tuples none of which
+dominates another, refined as more of the network is seen.  Lower values
+are better on every dimension (Section 5.1); flip attributes beforehand
+for max-oriented data (:func:`repro.data.nba.to_minimization`).
+
+Pruning (Algorithm 14): a link is irrelevant when some already-known tuple
+dominates its entire region.  Prioritization (Algorithm 15): regions
+closer to the origin first, because tuples near the origin dominate the
+most.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..common.geometry import Point, Rect, as_point, dominates, mindist
+from ..common.store import LocalStore
+from ..core.handler import QueryHandler
+from ..core.regions import Region
+
+__all__ = [
+    "skyline_of",
+    "skyline_of_array",
+    "merge_skylines",
+    "skyline_reference",
+    "SkylineHandler",
+]
+
+SkylineState = tuple[Point, ...]
+
+
+def skyline_of(points: Iterable[Point]) -> list[Point]:
+    """The maximal (non-dominated) tuples of a small point collection.
+
+    Sorting by coordinate sum first means any dominator of a point
+    precedes it, so one pass against the kept list suffices.
+    """
+    ordered = sorted(set(points), key=lambda p: (sum(p), p))
+    kept: list[Point] = []
+    for point in ordered:
+        if not any(dominates(other, point) for other in kept):
+            kept.append(point)
+    return kept
+
+
+def skyline_of_array(array: np.ndarray) -> np.ndarray:
+    """Vectorized skyline of an ``(m, d)`` array (lower is better)."""
+    array = np.asarray(array, dtype=float)
+    if len(array) == 0:
+        return array
+    # Dominators must precede the points they dominate.  Sorting by the
+    # coordinate sum almost ensures that, but floating addition can
+    # collapse distinct sums (a + tiny == a), so break ties
+    # lexicographically — a dominator is componentwise <= its victim, so
+    # it also precedes it lexicographically.
+    sums = array.sum(axis=1)
+    keys = tuple(array[:, dim] for dim in range(array.shape[1] - 1, -1, -1))
+    order = np.lexsort(keys + (sums,))
+    data = array[order]
+    kept_rows: list[np.ndarray] = []
+    kept_matrix = np.empty((0, array.shape[1]))
+    for row in data:
+        if len(kept_rows):
+            not_worse = np.all(kept_matrix <= row, axis=1)
+            strictly = np.any(kept_matrix < row, axis=1)
+            if np.any(not_worse & strictly):
+                continue
+        kept_rows.append(row)
+        kept_matrix = np.vstack([kept_matrix, row]) if len(kept_rows) > 1 \
+            else row[None, :]
+    return np.array(kept_rows)
+
+
+def k_skyband_of_array(array: np.ndarray, k: int, *,
+                       maximize: bool = False) -> np.ndarray:
+    """The k-skyband: tuples dominated by fewer than ``k`` others.
+
+    The 1-skyband is the skyline.  The *max-oriented* k-skyband (higher
+    values dominate) contains the top-k answer of every monotone
+    increasing scoring function — the property SPEERTO's precomputation
+    rests on (Section 2.1).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    array = np.asarray(array, dtype=float)
+    if len(array) == 0:
+        return array
+    data = -array if maximize else array
+    keep = []
+    for i, row in enumerate(data):
+        not_worse = np.all(data <= row, axis=1)
+        strictly = np.any(data < row, axis=1)
+        if int((not_worse & strictly).sum()) < k:
+            keep.append(i)
+    return array[keep]
+
+
+def merge_skylines(first: Sequence[Point], second: Sequence[Point]
+                   ) -> list[Point]:
+    """Skyline of the union of two sets that are each already skylines.
+
+    The all-pairs dominance test vectorizes across the two sides, which
+    is what makes simulating skyline queries over hundreds of peers cheap
+    (each peer merges already-reduced states, never raw collections).
+    """
+    first = [p for p in dict.fromkeys(first)]
+    second = [p for p in dict.fromkeys(second) if p not in set(first)]
+    if not first or not second:
+        return sorted([*first, *second])
+    a = np.asarray(first, dtype=float)
+    b = np.asarray(second, dtype=float)
+    # dominated[i, j] == True iff a[i] dominates b[j]
+    le = a[:, None, :] <= b[None, :, :]
+    lt = a[:, None, :] < b[None, :, :]
+    a_dominates_b = le.all(axis=2) & lt.any(axis=2)
+    b_dominates_a = (b[:, None, :] <= a[None, :, :]).all(axis=2) \
+        & (b[:, None, :] < a[None, :, :]).any(axis=2)
+    keep_a = ~b_dominates_a.any(axis=0)
+    keep_b = ~a_dominates_b.any(axis=0)
+    return sorted([p for p, k in zip(first, keep_a) if k]
+                  + [p for p, k in zip(second, keep_b) if k])
+
+
+def skyline_reference(array: np.ndarray,
+                      constraint: Rect | None = None) -> list[Point]:
+    """Centralized oracle: the (optionally constrained) skyline, sorted.
+
+    The skyline is a set of *values*: duplicate tuples collapse, matching
+    the set semantics of the distributed states.
+    """
+    array = np.asarray(array, dtype=float)
+    if constraint is not None and len(array):
+        inside = np.all((array >= constraint.lo) & (array < constraint.hi),
+                        axis=1)
+        array = array[inside]
+    return sorted({as_point(row) for row in skyline_of_array(array)})
+
+
+def distributed_skyline(
+    initiator,
+    dims: int,
+    *,
+    restriction: Region,
+    r: int = 0,
+    seeded: bool = True,
+    strict: bool = True,
+    constraint: Rect | None = None,
+):
+    """End-to-end distributed skyline from ``initiator``.
+
+    With ``seeded`` (default) the query first routes to the peer owning
+    the preference origin — where the most dominating tuples live, the
+    same starting point SSP and DSL use — and ripples out from there with
+    a warm partial skyline.  Pass ``constraint`` for a constrained skyline
+    (the skyline among tuples inside the box).  Returns a
+    :class:`~repro.net.context.QueryResult` whose ``answer`` is the sorted
+    global skyline.
+    """
+    from ..core.framework import run_ripple
+    from .drivers import run_seeded
+
+    handler = SkylineHandler(dims, constraint=constraint)
+    if not seeded:
+        return run_ripple(initiator, handler, r,
+                          restriction=restriction, strict=strict)
+    return run_seeded(initiator, handler, r, restriction=restriction,
+                      seed_point=handler.origin, strict=strict)
+
+
+class SkylineHandler(QueryHandler):
+    """RIPPLE callbacks for (optionally constrained) skyline queries.
+
+    The unconstrained query carries no parameters (Section 5.1);
+    ``origin`` is the preference origin used for link prioritization, the
+    zero vector by default.  With a ``constraint`` box the query becomes
+    the constrained skyline DSL processes (Section 2.2): the skyline of
+    the tuples inside the box, with the box's lower-left corner as the
+    natural origin and links outside the box pruned outright.
+    """
+
+    def __init__(self, dims: int, *, origin: Sequence[float] | None = None,
+                 constraint: Rect | None = None):
+        if dims <= 0:
+            raise ValueError("dims must be positive")
+        if constraint is not None and constraint.dims != dims:
+            raise ValueError("constraint dimensionality mismatch")
+        self.dims = dims
+        self.constraint = constraint
+        if origin is not None:
+            self.origin: Point = tuple(float(v) for v in origin)
+        elif constraint is not None:
+            self.origin = constraint.lo
+        else:
+            self.origin = (0.0,) * dims
+
+    # -- local skylines -----------------------------------------------------
+
+    def _local_skyline(self, store: LocalStore) -> list[Point]:
+        array = store.array
+        if self.constraint is not None and len(array):
+            inside = np.all((array >= self.constraint.lo)
+                            & (array < self.constraint.hi), axis=1)
+            array = array[inside]
+        return [as_point(row) for row in skyline_of_array(array)]
+
+    # -- states (Algorithms 10, 11, 13) -------------------------------------
+
+    def initial_state(self) -> SkylineState:
+        return ()
+
+    def compute_local_state(self, store: LocalStore,
+                            global_state: SkylineState) -> SkylineState:
+        """Algorithm 10: local skyline points that survive the global view."""
+        local = self._local_skyline(store)
+        merged = set(merge_skylines(global_state, local))
+        return tuple(sorted(p for p in local if p in merged))
+
+    def compute_global_state(self, global_state: SkylineState,
+                             local_state: SkylineState) -> SkylineState:
+        """Algorithm 11: skyline of the received view plus local survivors."""
+        return tuple(merge_skylines(global_state, local_state))
+
+    def update_local_state(self, states: Sequence[SkylineState]) -> SkylineState:
+        """Algorithm 13: skyline of the union of the received states."""
+        merged: Sequence[Point] = ()
+        for state in states:
+            merged = merge_skylines(merged, state)
+        return tuple(merged)
+
+    # -- answers (Algorithm 12) ----------------------------------------------
+
+    def compute_local_answer(self, store: LocalStore,
+                             local_state: SkylineState) -> list[Point]:
+        """The locally stored tuples among the state's survivors."""
+        if not local_state:
+            return []
+        local = set(self._local_skyline(store))
+        return [point for point in local_state if point in local]
+
+    def finalize(self, answers: Sequence[Sequence[Point]]) -> list[Point]:
+        return sorted(skyline_of(
+            [point for answer in answers for point in answer]))
+
+    # -- link decisions (Algorithms 14, 15) -----------------------------------
+
+    def is_link_relevant(self, region: Region,
+                         global_state: SkylineState) -> bool:
+        if self.constraint is not None and not any(
+                rect.intersects(self.constraint) for rect in region.cover()):
+            return False
+        return self._not_dominated(region, global_state)
+
+    def _not_dominated(self, region: Region,
+                       global_state: SkylineState) -> bool:
+        """False iff known tuples dominate every reachable part of the region."""
+        for rect in region.cover():
+            if not any(rect.dominated_by(s) for s in global_state):
+                return True
+        return False
+
+    def link_priority(self, region: Region) -> float:
+        return min(mindist(self.origin, rect) for rect in region.cover())

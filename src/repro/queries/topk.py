@@ -1,0 +1,200 @@
+"""Top-k query processing with RIPPLE (Section 4, Algorithms 4-9).
+
+Scores are maximized: the answer is the ``k`` tuples of highest score
+under a unimodal scoring function ``f`` (Section 4), pruned through the
+region upper bound ``f^+`` (Algorithm 8) and prioritized by it
+(Algorithm 9).
+
+**State representation.**  The paper sketches the abstract state as a
+scalar certificate ``(m, tau)`` — ``m`` tuples scoring at least ``tau``
+retrieved so far (Algorithms 4, 5, 7).  A scalar certificate loses
+information: a peer holding one excellent and one poor tuple can only
+report the pair's *minimum* score, so the merged threshold stalls far
+below the true ``k``-th score and pruning never tightens.  Section 3
+explicitly leaves the state open ("a set of local/remote records, or
+bounds/guarantees for these tuples"), so we carry the lossless version:
+the **multiset of the best k scores retrieved so far** plus a ``floor``
+(the strongest threshold any certificate along the way established).  The
+scalar ``(m, tau)`` of the pseudocode is the projection
+``(len(scores), tau())`` of this state, and every algorithm below reduces
+to its printed counterpart when stores hold at most one tuple.  See
+DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..common.geometry import Point
+from ..common.scoring import ScoringFunction
+from ..common.store import LocalStore
+from ..core.handler import QueryHandler
+from ..core.regions import Region
+
+__all__ = ["TopKState", "TopKHandler", "distributed_topk", "topk_reference"]
+
+
+@dataclass(frozen=True, slots=True)
+class TopKState:
+    """The best scores retrieved so far, plus the strongest known floor.
+
+    ``scores`` is descending and holds at most ``k`` entries; ``floor`` is
+    a sound global lower bound on the ``k``-th best score (tuples scoring
+    below it can never appear in the answer).  The scalar certificate of
+    the paper's pseudocode is ``(len(scores), min(scores))``.
+    """
+
+    scores: tuple[float, ...] = ()
+    floor: float = -math.inf
+
+    @property
+    def count(self) -> int:
+        return len(self.scores)
+
+
+class TopKHandler(QueryHandler):
+    """RIPPLE callbacks for ``top-k`` under scoring function ``fn``.
+
+    ``epsilon`` enables approximate retrieval in the spirit of KLEE
+    (Section 2.1): a region is pruned unless it could contain a tuple
+    beating the certified threshold by more than a ``(1 + epsilon)``
+    slack, cutting traffic at the price of a bounded answer error — every
+    returned score is within ``epsilon * |tau|`` of a true top-k score.
+    ``epsilon = 0`` (the default) is exact.
+    """
+
+    def __init__(self, fn: ScoringFunction, k: int, *, epsilon: float = 0.0):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.fn = fn
+        self.k = k
+        self.epsilon = epsilon
+
+    def tau(self, state: TopKState) -> float:
+        """The pruning threshold this state certifies.
+
+        The ``k``-th best retrieved score once ``k`` tuples are known,
+        else the inherited floor; ``-inf`` means nothing can be pruned yet
+        (the ``m < k`` clause of Algorithm 8).
+        """
+        if len(state.scores) >= self.k:
+            return max(state.floor, state.scores[self.k - 1])
+        return state.floor
+
+    def _merge(self, states: Sequence[TopKState]) -> TopKState:
+        scores = sorted((s for state in states for s in state.scores),
+                        reverse=True)[: self.k]
+        floors = [state.floor for state in states]
+        merged = TopKState(tuple(scores), max(floors, default=-math.inf))
+        # A full merged list is itself a certificate; remember it.
+        return TopKState(merged.scores, max(merged.floor, self.tau(merged)))
+
+    # -- states (Algorithms 4, 5, 7) --------------------------------------
+
+    def initial_state(self) -> TopKState:
+        return TopKState()
+
+    def compute_local_state(self, store: LocalStore,
+                            global_state: TopKState) -> TopKState:
+        """Algorithm 4: the best local scores that can still matter."""
+        cutoff = self.tau(global_state)
+        retrieved = store.top_scoring(self.fn, self.k, above=cutoff)
+        return TopKState(tuple(score for score, _ in retrieved), cutoff)
+
+    def compute_global_state(self, global_state: TopKState,
+                             local_state: TopKState) -> TopKState:
+        """Algorithm 5: fold the local certificate into the global one."""
+        return self._merge((global_state, local_state))
+
+    def update_local_state(self, states: Sequence[TopKState]) -> TopKState:
+        """Algorithm 7: the strongest certificate the states support."""
+        return self._merge(states)
+
+    # -- answers (Algorithm 6) --------------------------------------------
+
+    def compute_local_answer(self, store: LocalStore,
+                             local_state: TopKState) -> list[Point]:
+        return store.scoring_at_least(self.fn, self.tau(local_state))
+
+    def finalize(self, answers: Sequence[Sequence[Point]]
+                 ) -> list[tuple[float, Point]]:
+        """Merge the collected local answers into the global top-k.
+
+        Returns ``(score, tuple)`` pairs, best first, with deterministic
+        lexicographic tie-breaking.
+        """
+        scored = sorted(((self.fn.score(t), t)
+                         for answer in answers for t in answer),
+                        key=lambda pair: (-pair[0], pair[1]))
+        return scored[: self.k]
+
+    # -- link decisions (Algorithms 8, 9) ----------------------------------
+
+    def _region_upper_bound(self, region: Region) -> float:
+        return max(self.fn.upper_bound(rect) for rect in region.cover())
+
+    def is_link_relevant(self, region: Region, global_state: TopKState) -> bool:
+        tau = self.tau(global_state)
+        if tau == -math.inf:
+            return True
+        slack = self.epsilon * abs(tau)
+        return self._region_upper_bound(region) >= tau + slack
+
+    def link_priority(self, region: Region) -> float:
+        return -self._region_upper_bound(region)
+
+    # -- seeding ------------------------------------------------------------
+
+    def seed_satisfied(self, state: TopKState) -> bool:
+        """The seed probe may stop once ``k`` tuples back the threshold."""
+        return len(state.scores) >= self.k
+
+    def probe_score(self, state: TopKState) -> float:
+        """Probe until the harvested ``k``-th best score stops improving."""
+        return self.tau(state)
+
+
+def distributed_topk(
+    initiator,
+    fn: ScoringFunction,
+    k: int,
+    *,
+    restriction: Region,
+    r: int = 0,
+    seeded: bool = True,
+    strict: bool = True,
+):
+    """End-to-end distributed top-k from ``initiator``.
+
+    With ``seeded`` (the default, used by all experiments) the query first
+    routes toward the scoring function's peak and probes best-first until
+    ``k`` tuples back the threshold, so the ripple phase starts with a
+    warm state; without it, Algorithm 3 runs cold from the initiator.
+    Returns a :class:`~repro.net.context.QueryResult` whose ``answer`` is
+    a list of ``(score, tuple)`` pairs, best first.
+    """
+    from ..core.framework import run_ripple
+    from .drivers import run_seeded
+
+    handler = TopKHandler(fn, k)
+    if not seeded:
+        return run_ripple(initiator, handler, r,
+                          restriction=restriction, strict=strict)
+    domain = restriction.cover()[0]
+    seed_point = tuple(min(v, h - 1e-12)
+                       for v, h in zip(fn.peak(domain), domain.hi))
+    return run_seeded(initiator, handler, r, restriction=restriction,
+                      seed_point=seed_point, strict=strict)
+
+
+def topk_reference(array, fn: ScoringFunction, k: int) -> list[tuple[float, Point]]:
+    """Centralized oracle: top-k over the full dataset, same tie-breaking."""
+    from ..common.geometry import as_point
+
+    scored = sorted(((float(fn.score(row)), as_point(row)) for row in array),
+                    key=lambda pair: (-pair[0], pair[1]))
+    return scored[:k]

@@ -1,0 +1,15 @@
+"""Vertically distributed top-k (the Section 2.1 baseline lineage)."""
+
+from .algorithms import VerticalResult, fagin, klee, threshold_algorithm, tput
+from .network import AccessStats, AttributePeer, VerticalNetwork
+
+__all__ = [
+    "AccessStats",
+    "AttributePeer",
+    "VerticalNetwork",
+    "VerticalResult",
+    "fagin",
+    "klee",
+    "threshold_algorithm",
+    "tput",
+]

@@ -1,0 +1,187 @@
+"""Vertical top-k algorithms: FA, TA, TPUT, and approximate KLEE.
+
+The lineage Section 2.1 sketches:
+
+* **FA** (Fagin's Algorithm [6]) — sorted-access every list in lockstep
+  until ``k`` objects have been seen in *all* lists; random-access the
+  partially seen rest; the top-k is among them.
+* **TA** (Threshold Algorithm [6]) — after each lockstep row, fully
+  resolve every newly seen object by random access and stop as soon as
+  ``k`` resolved scores reach the row threshold ``f(v_1 .. v_m)``;
+  instance-optimal.
+* **TPUT** (Three-Phase Uniform Threshold [4]) — three round-trips
+  instead of object-at-a-time interaction: fetch top-``k`` prefixes,
+  lower-bound the k-th score by partial sums, fetch everything above
+  ``tau / m`` from each list, then random-access the candidates.
+* **KLEE** [11] — approximate two-phase variant: like TPUT but skipping
+  the final exact resolution, scoring candidates by their (optimistic)
+  upper bounds; trades a bounded error for one round-trip less.
+
+All operate on weighted sums with non-negative weights (monotone
+aggregation).  Costs are reported as sorted/random access counts plus the
+number of communication rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import AccessStats, VerticalNetwork
+
+__all__ = ["VerticalResult", "fagin", "threshold_algorithm", "tput", "klee"]
+
+
+@dataclass(frozen=True)
+class VerticalResult:
+    """Top-k ``(score, object_id)`` pairs plus the access cost."""
+
+    answer: list[tuple[float, int]]
+    stats: AccessStats
+
+
+def _weights(network: VerticalNetwork, weights) -> np.ndarray:
+    weights = (np.ones(network.attributes)
+               if weights is None else np.asarray(weights, dtype=float))
+    if len(weights) != network.attributes:
+        raise ValueError("one weight per attribute required")
+    if (weights < 0).any():
+        raise ValueError("monotone aggregation needs non-negative weights")
+    return weights
+
+
+def _rank(network: VerticalNetwork, objects, weights, k) -> list:
+    scored = sorted(((network.score(obj, weights), obj) for obj in objects),
+                    key=lambda pair: (-pair[0], pair[1]))
+    return [(score, obj) for score, obj in scored[:k]]
+
+
+def fagin(network: VerticalNetwork, k: int, weights=None) -> VerticalResult:
+    """Fagin's Algorithm: lockstep until k objects are seen everywhere."""
+    weights = _weights(network, weights)
+    stats = AccessStats()
+    seen_in: dict[int, int] = {}
+    fully_seen = 0
+    depth = 0
+    while fully_seen < k and depth < network.objects:
+        stats.rounds += 1
+        for peer in network.peers:
+            pair = peer.sorted_access(depth, stats)
+            if pair is None:
+                continue
+            obj, _ = pair
+            seen_in[obj] = seen_in.get(obj, 0) + 1
+            if seen_in[obj] == network.attributes:
+                fully_seen += 1
+        depth += 1
+    # resolve every partially seen object by random access
+    stats.rounds += 1
+    for obj, count in seen_in.items():
+        if count < network.attributes:
+            for peer in network.peers:
+                peer.random_access(obj, stats)
+    return VerticalResult(_rank(network, seen_in, weights, k), stats)
+
+
+def threshold_algorithm(network: VerticalNetwork, k: int,
+                        weights=None) -> VerticalResult:
+    """TA: stop once k resolved objects reach the row threshold."""
+    weights = _weights(network, weights)
+    stats = AccessStats()
+    resolved: dict[int, float] = {}
+    depth = 0
+    while depth < network.objects:
+        stats.rounds += 1
+        row_values = []
+        for peer in network.peers:
+            pair = peer.sorted_access(depth, stats)
+            if pair is None:
+                row_values.append(0.0)
+                continue
+            obj, value = pair
+            row_values.append(value)
+            if obj not in resolved:
+                score = sum(
+                    w * (value if p is peer else p.random_access(obj, stats))
+                    for p, w in zip(network.peers, weights))
+                resolved[obj] = score
+        threshold = float(np.dot(weights, row_values))
+        top = sorted(resolved.values(), reverse=True)[:k]
+        if len(top) >= k and top[-1] >= threshold:
+            break
+        depth += 1
+    return VerticalResult(_rank(network, resolved, weights, k), stats)
+
+
+def tput(network: VerticalNetwork, k: int, weights=None) -> VerticalResult:
+    """TPUT: three uniform-threshold phases, exact answer."""
+    weights = _weights(network, weights)
+    stats = AccessStats()
+
+    # Phase 1: top-k prefix of each list; lower-bound the k-th score.
+    partial: dict[int, float] = {}
+    for peer, w in zip(network.peers, weights):
+        for obj, value in peer.sorted_prefix(k, stats):
+            partial[obj] = partial.get(obj, 0.0) + w * value
+    stats.rounds += 1
+    tau = sorted(partial.values(), reverse=True)[:k][-1] if partial else 0.0
+
+    # Phase 2: fetch everything with attribute value >= tau / (m * w).
+    positive = [(peer, w) for peer, w in zip(network.peers, weights)
+                if w > 0]
+    candidates: dict[int, dict[int, float]] = {}
+    for peer, w in positive:
+        per_list = tau / (len(positive) * w)
+        for obj, value in peer.above_threshold(per_list, stats):
+            candidates.setdefault(obj, {})[peer.attribute] = value
+    stats.rounds += 1
+
+    # Refine: an object can still make the top-k only if its upper bound
+    # (known values plus per-list thresholds for the unknown) reaches tau.
+    survivors = []
+    for obj, known in candidates.items():
+        upper = sum(w * known.get(peer.attribute,
+                                  tau / (len(positive) * w))
+                    for peer, w in positive)
+        if upper >= tau:
+            survivors.append(obj)
+
+    # Phase 3: random-access the survivors' missing attributes.
+    for obj in survivors:
+        known = candidates[obj]
+        for peer in network.peers:
+            if peer.attribute not in known:
+                peer.random_access(obj, stats)
+    stats.rounds += 1
+    return VerticalResult(_rank(network, survivors, weights, k), stats)
+
+
+def klee(network: VerticalNetwork, k: int, weights=None,
+         *, prefix_factor: int = 3) -> VerticalResult:
+    """KLEE-style approximate top-k in two round-trips.
+
+    Phase 1 fetches a deeper prefix (``prefix_factor * k``) from each
+    list; phase 2 ranks the gathered candidates by *optimistic* scores,
+    substituting each list's last seen value for unknown attributes — no
+    random accesses at all.  The answer is approximate; the guarantee is
+    that every reported score upper-bounds the true score by at most the
+    sum of the lists' prefix tails.
+    """
+    weights = _weights(network, weights)
+    stats = AccessStats()
+    known: dict[int, dict[int, float]] = {}
+    tails = np.zeros(network.attributes)
+    for peer, w in zip(network.peers, weights):
+        prefix = peer.sorted_prefix(prefix_factor * k, stats)
+        for obj, value in prefix:
+            known.setdefault(obj, {})[peer.attribute] = value
+        tails[peer.attribute] = prefix[-1][1] if prefix else 0.0
+    stats.rounds += 2
+    estimates = []
+    for obj, values in known.items():
+        estimate = sum(w * values.get(j, tails[j])
+                       for j, w in enumerate(weights))
+        estimates.append((estimate, obj))
+    estimates.sort(key=lambda pair: (-pair[0], pair[1]))
+    return VerticalResult(estimates[:k], stats)

@@ -1,0 +1,114 @@
+"""The vertically distributed setting of Section 2.1.
+
+In the vertical variant of distributed top-k, each peer maintains *all*
+tuples but stores the values of a single attribute, kept as a list sorted
+descending by value.  Middleware algorithms (TA, FA, TPUT, KLEE) interact
+with attribute peers through two primitives whose counts are the
+classical cost metrics:
+
+* **sorted access** — the next ``(object, value)`` pair in score order;
+* **random access** — the value of a given object.
+
+RIPPLE targets the horizontal setting, but the paper's related work
+defines these algorithms as the baseline landscape, so the reproduction
+includes them; they also serve as reference implementations for the
+library's users who face vertical partitionings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AttributePeer", "VerticalNetwork", "AccessStats"]
+
+
+class AccessStats:
+    """Cost ledger: the classical middleware access counts."""
+
+    def __init__(self) -> None:
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+        self.rounds = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return self.sorted_accesses + self.random_accesses
+
+    def __repr__(self) -> str:
+        return (f"AccessStats(sorted={self.sorted_accesses}, "
+                f"random={self.random_accesses}, rounds={self.rounds})")
+
+
+class AttributePeer:
+    """One vertical peer: a single attribute of every object, sorted."""
+
+    def __init__(self, attribute: int, values: np.ndarray):
+        self.attribute = attribute
+        self._values = np.asarray(values, dtype=float)
+        self._order = np.argsort(-self._values, kind="stable")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def sorted_access(self, rank: int, stats: AccessStats
+                      ) -> tuple[int, float] | None:
+        """The rank-th best ``(object_id, value)``, or None past the end."""
+        if rank >= len(self._order):
+            return None
+        stats.sorted_accesses += 1
+        obj = int(self._order[rank])
+        return obj, float(self._values[obj])
+
+    def sorted_prefix(self, depth: int, stats: AccessStats
+                      ) -> list[tuple[int, float]]:
+        """The best ``depth`` pairs (bulk sorted access)."""
+        depth = min(depth, len(self._order))
+        stats.sorted_accesses += depth
+        return [(int(obj), float(self._values[obj]))
+                for obj in self._order[:depth]]
+
+    def above_threshold(self, threshold: float, stats: AccessStats
+                        ) -> list[tuple[int, float]]:
+        """Every pair with value >= threshold (TPUT's phase-two scan)."""
+        out = []
+        for obj in self._order:
+            value = float(self._values[obj])
+            if value < threshold:
+                break
+            stats.sorted_accesses += 1
+            out.append((int(obj), value))
+        return out
+
+    def random_access(self, obj: int, stats: AccessStats) -> float:
+        stats.random_accesses += 1
+        return float(self._values[obj])
+
+
+class VerticalNetwork:
+    """A set of attribute peers over one object collection."""
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[1] < 2:
+            raise ValueError("need an (objects, >=2 attributes) matrix")
+        self.data = data
+        self.peers = [AttributePeer(j, data[:, j])
+                      for j in range(data.shape[1])]
+
+    @property
+    def objects(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def attributes(self) -> int:
+        return self.data.shape[1]
+
+    def score(self, obj: int, weights: np.ndarray) -> float:
+        return float(self.data[obj] @ weights)
+
+    def reference_topk(self, k: int, weights) -> list[tuple[float, int]]:
+        """Centralized oracle: ``(score, object_id)`` pairs, best first."""
+        weights = np.asarray(weights, dtype=float)
+        scores = self.data @ weights
+        order = np.lexsort((np.arange(len(scores)), -scores))
+        return [(float(scores[i]), int(i)) for i in order[:k]]

@@ -1,0 +1,46 @@
+"""The naive broadcast works over any overlay (it only needs links)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import broadcast_query, flood
+from repro.common.scoring import NearestScore
+from repro.overlays.can import CanOverlay
+from repro.overlays.chord import ChordOverlay
+from repro.queries.topk import TopKHandler, topk_reference
+
+
+class TestFloodOverChord:
+    def test_reaches_every_peer(self):
+        overlay = ChordOverlay(size=40, seed=1)
+        reached, _ = flood(overlay.random_peer())
+        assert len(reached) == 40
+
+    def test_broadcast_topk(self):
+        overlay = ChordOverlay(size=24, seed=2)
+        data = np.random.default_rng(0).random((200, 1)) * 0.999
+        overlay.load(data)
+        fn = NearestScore((0.4,))
+        result = broadcast_query(overlay.random_peer(), TopKHandler(fn, 3))
+        assert [s for s, _ in result.answer] == pytest.approx(
+            [s for s, _ in topk_reference(data, fn, 3)])
+
+
+class TestFloodOverCan:
+    def test_reaches_every_peer(self):
+        overlay = CanOverlay(2, size=30, seed=3)
+        reached, messages = flood(overlay.random_peer())
+        assert len(reached) == 30
+        # every neighbor edge carries at least one message in each direction
+        assert messages >= 29
+
+    def test_latency_is_graph_eccentricity(self):
+        overlay = CanOverlay(2, size=30, seed=4)
+        start = overlay.random_peer()
+        reached, _ = flood(start)
+        depths = {peer.peer_id: depth for peer, depth in reached}
+        # BFS depth of the farthest peer == reported broadcast latency
+        handler = TopKHandler(NearestScore((0.5, 0.5)), 1)
+        overlay.load(np.random.default_rng(1).random((50, 2)) * 0.999)
+        result = broadcast_query(start, handler)
+        assert result.stats.latency == max(depths.values())

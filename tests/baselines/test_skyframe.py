@@ -1,0 +1,99 @@
+"""Tests for the Skyframe baseline (border peers over CAN)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.skyframe import skyframe_skyline
+from repro.overlays.can import CanOverlay
+from repro.queries.skyline import skyline_reference
+
+
+def network(data, size, seed=0):
+    overlay = CanOverlay(data.shape[1], size=1, seed=seed, join_policy="data")
+    overlay.load(data)
+    overlay.grow_to(size)
+    return overlay
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(23)
+    data = rng.random((1500, 3)) * 0.999
+    return network(data, 96, seed=3), data
+
+
+class TestSkyframe:
+    def test_correct(self, setup):
+        overlay, data = setup
+        result = skyframe_skyline(overlay, overlay.random_peer())
+        assert result.answer == skyline_reference(data)
+
+    def test_initiators_agree(self, setup):
+        overlay, data = setup
+        reference = skyline_reference(data)
+        for peer in list(overlay.peers())[::19]:
+            assert skyframe_skyline(overlay, peer).answer == reference
+
+    def test_skips_dominated_peers(self, setup):
+        overlay, _ = setup
+        result = skyframe_skyline(overlay, overlay.random_peer())
+        assert result.stats.processed < len(overlay)
+
+    def test_queries_all_border_peers(self, setup):
+        overlay, _ = setup
+        border = sum(1 for p in overlay.peers()
+                     if any(lo == 0.0 for lo in p.zone.lo))
+        result = skyframe_skyline(overlay, overlay.random_peer())
+        assert result.stats.processed >= border
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=6, deadline=None)
+    def test_random_networks(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random((200, 2)) * 0.999
+        overlay = network(data, 20, seed=seed)
+        result = skyframe_skyline(overlay, overlay.random_peer(rng))
+        assert result.answer == skyline_reference(data)
+
+
+class TestConstrainedSkyline:
+    def test_constrained_matches_reference(self):
+        from repro.overlays.midas import MidasOverlay
+        from repro.common.geometry import Rect
+        from repro.queries.skyline import distributed_skyline
+
+        rng = np.random.default_rng(29)
+        data = rng.random((1200, 2)) * 0.999
+        overlay = MidasOverlay(2, size=1, seed=4, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(48)
+        box = Rect((0.25, 0.1), (0.8, 0.75))
+        for r in (0, 10 ** 9):
+            result = distributed_skyline(
+                overlay.random_peer(), 2, restriction=overlay.domain(),
+                r=r, constraint=box)
+            assert result.answer == skyline_reference(data, box)
+
+    def test_constraint_prunes_outside_peers(self):
+        from repro.overlays.midas import MidasOverlay
+        from repro.common.geometry import Rect
+        from repro.queries.skyline import distributed_skyline
+
+        rng = np.random.default_rng(31)
+        data = rng.random((1200, 2)) * 0.999
+        overlay = MidasOverlay(2, size=1, seed=4, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(64)
+        tiny = Rect((0.48, 0.48), (0.52, 0.52))
+        result = distributed_skyline(
+            overlay.random_peer(), 2, restriction=overlay.domain(),
+            r=0, constraint=tiny)
+        assert result.stats.processed < len(overlay) / 2
+
+    def test_dimension_mismatch(self):
+        from repro.common.geometry import Rect
+        from repro.queries.skyline import SkylineHandler
+
+        with pytest.raises(ValueError):
+            SkylineHandler(3, constraint=Rect((0, 0), (1, 1)))

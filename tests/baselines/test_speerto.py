@@ -1,0 +1,102 @@
+"""Tests for SPEERTO and the k-skyband machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.speerto import precompute_skybands, speerto_topk
+from repro.common.scoring import LinearScore
+from repro.overlays.superpeer import SuperPeerNetwork
+from repro.queries.skyline import k_skyband_of_array, skyline_of_array
+from repro.queries.topk import topk_reference
+
+
+class TestKSkyband:
+    def test_one_skyband_is_skyline(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((300, 3))
+        band = {tuple(r) for r in k_skyband_of_array(data, 1)}
+        sky = {tuple(r) for r in skyline_of_array(data)}
+        assert band == sky
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((200, 2))
+        sizes = [len(k_skyband_of_array(data, k)) for k in (1, 3, 6)]
+        assert sizes == sorted(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            k_skyband_of_array(np.zeros((2, 2)), 0)
+
+    @given(st.integers(0, 10 ** 6), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_max_skyband_contains_topk_of_any_monotone_function(
+            self, seed, k):
+        """The SPEERTO property: the max-oriented k-skyband contains the
+        top-k for every increasing linear score."""
+        rng = np.random.default_rng(seed)
+        data = rng.random((120, 3))
+        band = {tuple(r) for r in k_skyband_of_array(data, k,
+                                                     maximize=True)}
+        weights = rng.random(3) + 0.01
+        top = topk_reference(data, LinearScore(weights), k)
+        for _, point in top:
+            assert point in band
+
+
+class TestSpeerto:
+    @pytest.fixture(scope="class")
+    def network(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((4000, 3)) * 0.999
+        net = SuperPeerNetwork(3, super_peers=4, nodes_per_super=8, seed=2)
+        net.load(data)
+        precompute_skybands(net, 10)
+        return net, data
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperPeerNetwork(2, super_peers=0, nodes_per_super=3)
+
+    def test_load_scatters_everything(self, network):
+        net, data = network
+        assert net.total_tuples() == len(data)
+
+    def test_exact_answers_for_any_weights(self, network):
+        net, data = network
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            weights = rng.random(3) + 0.01
+            fn = LinearScore(weights)
+            result = speerto_topk(net, net.random_node(rng), fn, 10)
+            assert [s for s, _ in result.answer] == pytest.approx(
+                [s for s, _ in topk_reference(data, fn, 10)])
+
+    def test_smaller_k_reuses_cache(self, network):
+        net, data = network
+        fn = LinearScore([1, 1, 1])
+        result = speerto_topk(net, net.random_node(), fn, 4)
+        assert [s for s, _ in result.answer] == pytest.approx(
+            [s for s, _ in topk_reference(data, fn, 4)])
+
+    def test_larger_k_requires_precomputation(self, network):
+        net, _ = network
+        with pytest.raises(RuntimeError):
+            speerto_topk(net, net.random_node(), LinearScore([1, 1, 1]), 50)
+
+    def test_query_cost_is_backbone_only(self, network):
+        net, _ = network
+        result = speerto_topk(net, net.random_node(),
+                              LinearScore([1, 1, 1]), 10)
+        # only super-peers process queries: 1 home + 3 remote
+        assert result.stats.processed == 4
+        assert result.stats.latency == 2
+
+    def test_precompute_cost_reported(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((500, 2))
+        net = SuperPeerNetwork(2, super_peers=2, nodes_per_super=4)
+        net.load(data)
+        shipped = precompute_skybands(net, 3)
+        assert 0 < shipped <= len(data)

@@ -1,0 +1,74 @@
+"""Property tests: the distance bounds that drive all pruning are sound."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.common.geometry import Rect, maxdist, mindist, minkowski_distance
+
+coords = st.floats(0, 1, allow_nan=False)
+
+
+@st.composite
+def boxes(draw, dims=3):
+    lo = [draw(st.floats(0, 0.8)) for _ in range(dims)]
+    hi = [l + draw(st.floats(0.01, 0.2)) for l in lo]
+    return Rect(tuple(lo), tuple(hi))
+
+
+@st.composite
+def points(draw, dims=3):
+    return tuple(draw(coords) for _ in range(dims))
+
+
+class TestDistanceBounds:
+    @given(points(), boxes(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_mindist_lower_bounds_all_members(self, q, rect, p):
+        rng = np.random.default_rng(0)
+        lo = mindist(q, rect, p)
+        for _ in range(20):
+            member = rect.sample(rng)
+            assert minkowski_distance(q, member, p) >= lo - 1e-9
+
+    @given(points(), boxes(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_maxdist_upper_bounds_all_members(self, q, rect, p):
+        rng = np.random.default_rng(1)
+        hi = maxdist(q, rect, p)
+        for _ in range(20):
+            member = rect.sample(rng)
+            assert minkowski_distance(q, member, p) <= hi + 1e-9
+
+    @given(points(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_ordered(self, q, rect):
+        assert mindist(q, rect) <= maxdist(q, rect) + 1e-12
+
+    @given(boxes())
+    @settings(max_examples=30, deadline=None)
+    def test_mindist_zero_inside(self, rect):
+        assert mindist(rect.center, rect) == 0.0
+
+    @given(points(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_attained_at_corners(self, q, rect):
+        """maxdist is attained at some box corner."""
+        import itertools
+
+        corners = itertools.product(*zip(rect.lo, rect.hi))
+        corner_max = max(minkowski_distance(q, c, 2) for c in corners)
+        assert maxdist(q, rect) == corner_max
+
+
+class TestCornerBound:
+    @given(points(), boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_linear_corner_maximizes(self, weights, rect):
+        """Rect.corner picks the box-wide maximum of any linear score."""
+        from repro.common.scoring import LinearScore
+
+        fn = LinearScore([w - 0.5 for w in weights])
+        rng = np.random.default_rng(2)
+        bound = fn.upper_bound(rect)
+        for _ in range(20):
+            assert fn.score(rect.sample(rng)) <= bound + 1e-9

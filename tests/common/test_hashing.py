@@ -1,0 +1,44 @@
+"""Unit tests for deterministic mixing."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import mix, path_key
+
+
+class TestMix:
+    def test_deterministic(self):
+        assert mix(1, 2, 3) == mix(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert mix(1, 2) != mix(2, 1)
+
+    def test_64_bit_range(self):
+        for args in [(0,), (1, 2, 3), (2 ** 70,)]:
+            assert 0 <= mix(*args) < 2 ** 64
+
+    @given(st.lists(st.integers(0, 2 ** 64 - 1), min_size=1, max_size=4))
+    def test_bit_balance(self, values):
+        assert mix(*values) != mix(*values, 0) or values == [0]
+
+    def test_avalanche(self):
+        base = mix(42)
+        flipped = mix(43)
+        assert bin(base ^ flipped).count("1") > 10
+
+
+class TestPathKey:
+    def test_root(self):
+        assert path_key(()) == 1
+
+    def test_distinguishes_depth(self):
+        assert path_key((0,)) != path_key(())
+        assert path_key((0, 0)) != path_key((0,))
+
+    def test_distinguishes_bits(self):
+        assert path_key((0, 1)) != path_key((1, 0))
+
+    @given(st.lists(st.integers(0, 1), max_size=16),
+           st.lists(st.integers(0, 1), max_size=16))
+    def test_injective(self, a, b):
+        if tuple(a) != tuple(b):
+            assert path_key(tuple(a)) != path_key(tuple(b))

@@ -1,0 +1,73 @@
+"""Unit tests for scoring functions and their region bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.geometry import Rect
+from repro.common.scoring import LinearScore, NearestScore
+
+
+class TestLinearScore:
+    def test_score(self):
+        fn = LinearScore([1, 2])
+        assert fn.score((0.5, 0.25)) == pytest.approx(1.0)
+
+    def test_batch_matches_scalar(self):
+        fn = LinearScore([1, -1, 0.5])
+        arr = np.random.default_rng(0).random((20, 3))
+        batch = fn.score_batch(arr)
+        for row, s in zip(arr, batch):
+            assert s == pytest.approx(fn.score(row))
+
+    def test_upper_bound_at_corner(self):
+        fn = LinearScore([1, -1])
+        rect = Rect((0.2, 0.3), (0.6, 0.9))
+        assert fn.upper_bound(rect) == pytest.approx(0.6 - 0.3)
+
+    def test_peak(self):
+        fn = LinearScore([1, -1])
+        assert fn.peak(Rect.unit(2)) == (1.0, 0.0)
+
+    @given(st.lists(st.floats(-2, 2, allow_nan=False), min_size=2, max_size=4))
+    def test_upper_bound_dominates_samples(self, weights):
+        fn = LinearScore(weights)
+        rect = Rect((0.1,) * len(weights), (0.7,) * len(weights))
+        rng = np.random.default_rng(0)
+        bound = fn.upper_bound(rect)
+        for _ in range(25):
+            assert fn.score(rect.sample(rng)) <= bound + 1e-9
+
+
+class TestNearestScore:
+    def test_score_is_negative_distance(self):
+        fn = NearestScore((0.0, 0.0))
+        assert fn.score((3, 4)) == pytest.approx(-5.0)
+
+    def test_l1_variant(self):
+        fn = NearestScore((0.0, 0.0), p=1)
+        assert fn.score((3, 4)) == pytest.approx(-7.0)
+
+    def test_batch_matches_scalar(self):
+        fn = NearestScore((0.5, 0.5, 0.5), p=2)
+        arr = np.random.default_rng(1).random((20, 3))
+        batch = fn.score_batch(arr)
+        for row, s in zip(arr, batch):
+            assert s == pytest.approx(fn.score(row))
+
+    def test_upper_bound_zero_when_inside(self):
+        fn = NearestScore((0.5, 0.5))
+        assert fn.upper_bound(Rect.unit(2)) == 0.0
+
+    def test_upper_bound_outside(self):
+        fn = NearestScore((2.0, 0.5))
+        assert fn.upper_bound(Rect.unit(2)) == pytest.approx(-1.0)
+
+    def test_peak_is_clamped_query(self):
+        fn = NearestScore((2.0, 0.5))
+        assert fn.peak(Rect.unit(2)) == (1.0, 0.5)
+
+    def test_unimodal_not_monotone(self):
+        fn = NearestScore((0.5,))
+        assert fn.score((0.5,)) > fn.score((0.0,))
+        assert fn.score((0.5,)) > fn.score((1.0,))

@@ -1,0 +1,82 @@
+"""Lemmas 1-3: the analytical latency bounds hold exactly in simulation.
+
+These tests run never-pruning queries (``k`` larger than any dataset, over
+*empty* stores) on perfectly balanced MIDAS overlays, so every peer is
+visited and the measured critical-path latency must equal the worst-case
+formulas of Section 3.2.
+"""
+
+import pytest
+
+from repro import LinearScore, MidasOverlay, SLOW, TopKHandler, run_ripple
+from repro.core.analysis import (
+    fast_latency,
+    ripple_latency,
+    ripple_latency_closed_form,
+    slow_latency,
+)
+
+
+def measured_latency(depth: int, r: int) -> int:
+    overlay = MidasOverlay.complete(2, depth, seed=0)
+    handler = TopKHandler(LinearScore([1, 1]), 10 ** 9)
+    res = run_ripple(overlay.peers()[0], handler, r,
+                     restriction=overlay.domain())
+    assert res.stats.processed == 2 ** depth
+    return res.stats.latency
+
+
+class TestFormulas:
+    def test_fast_is_depth(self):
+        assert fast_latency(7) == 7
+        assert fast_latency(7, delta=3) == 4
+
+    def test_slow_is_exponential(self):
+        assert slow_latency(5) == 31
+        assert slow_latency(5, delta=5) == 0
+
+    def test_ripple_extremes(self):
+        for depth in range(0, 8):
+            assert ripple_latency(depth, 0) == fast_latency(depth)
+            assert ripple_latency(depth, depth + 1) == slow_latency(depth)
+
+    def test_ripple_monotone_in_r(self):
+        for depth in (4, 6, 9):
+            values = [ripple_latency(depth, r) for r in range(depth + 2)]
+            assert values == sorted(values)
+
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_closed_forms_match_recurrence(self, r):
+        for depth in range(r, 12):
+            assert ripple_latency(depth, r) == pytest.approx(
+                ripple_latency_closed_form(depth, r))
+
+    def test_polylog_conjecture_scaling(self):
+        """L_r grows like Delta^(r+1): the ratio to Delta^(r+1) stabilizes."""
+        for r in (1, 2):
+            hi = ripple_latency(40, r) / 40 ** (r + 1)
+            lo = ripple_latency(20, r) / 20 ** (r + 1)
+            assert hi / lo < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fast_latency(3, delta=4)
+        with pytest.raises(ValueError):
+            ripple_latency(3, -1)
+        with pytest.raises(ValueError):
+            ripple_latency_closed_form(3, 4)
+
+
+class TestSimulatorMatchesLemmas:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5])
+    def test_lemma1_fast(self, depth):
+        assert measured_latency(depth, 0) == fast_latency(depth)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5, 6])
+    def test_lemma2_slow(self, depth):
+        assert measured_latency(depth, SLOW) == slow_latency(depth)
+
+    @pytest.mark.parametrize("depth,r", [(3, 1), (4, 1), (5, 1),
+                                         (4, 2), (5, 2), (5, 3)])
+    def test_lemma3_ripple(self, depth, r):
+        assert measured_latency(depth, r) == ripple_latency(depth, r)

@@ -1,0 +1,128 @@
+"""Unit tests for the region abstraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.geometry import Frustum, Interval, Rect
+from repro.core.regions import (
+    ArcRegion,
+    FrustumIntersection,
+    FrustumRegion,
+    RectRegion,
+    domain_region,
+)
+
+
+class TestRectRegion:
+    def test_intersect_overlapping(self):
+        a = RectRegion(Rect((0, 0), (0.6, 0.6)))
+        b = RectRegion(Rect((0.4, 0.4), (1, 1)))
+        ab = a.intersect(b)
+        assert ab.rect == Rect((0.4, 0.4), (0.6, 0.6))
+
+    def test_intersect_disjoint(self):
+        a = RectRegion(Rect((0, 0), (0.4, 1)))
+        b = RectRegion(Rect((0.6, 0), (1, 1)))
+        assert a.intersect(b) is None
+
+    def test_cover_is_self(self):
+        region = RectRegion(Rect.unit(3))
+        assert region.cover() == (Rect.unit(3),)
+
+    def test_contains_half_open(self):
+        region = RectRegion(Rect((0, 0), (0.5, 0.5)))
+        assert region.contains((0.0, 0.0))
+        assert not region.contains((0.5, 0.0))
+
+    def test_domain_region(self):
+        region = domain_region(4)
+        assert region.rect == Rect.unit(4)
+        assert region.exact
+
+
+class TestArcRegion:
+    def test_from_plain_interval(self):
+        region = ArcRegion.from_interval(Interval(0.2, 0.6))
+        assert region.pieces == ((0.2, 0.6),)
+
+    def test_from_wrapping_interval(self):
+        region = ArcRegion.from_interval(Interval(0.8, 0.1))
+        assert region.pieces == ((0.8, 1.0), (0.0, 0.1))
+
+    def test_full_ring(self):
+        region = ArcRegion.from_interval(Interval(0.3, 0.3))
+        assert region.length() == pytest.approx(1.0)
+
+    def test_intersect_two_runs(self):
+        """Two wrapping arcs can overlap in two disjoint runs — the case
+        single-arc representations get wrong."""
+        a = ArcRegion.from_interval(Interval(0.9, 0.5))
+        b = ArcRegion.from_interval(Interval(0.4, 0.95))
+        ab = a.intersect(b)
+        assert ab.pieces == ((0.0, 0.5 - 0.1),) or len(ab.pieces) == 2
+        assert ab.length() == pytest.approx(0.15)
+
+    def test_intersect_with_unit_rect(self):
+        region = ArcRegion.from_interval(Interval(0.2, 0.6))
+        full = RectRegion(Rect((0.0,), (1.0,)))
+        assert region.intersect(full).length() == pytest.approx(0.4)
+
+    def test_contains(self):
+        region = ArcRegion.from_interval(Interval(0.8, 0.1))
+        assert region.contains((0.85,))
+        assert region.contains((0.05,))
+        assert not region.contains((0.5,))
+
+    def test_cover_matches_pieces(self):
+        region = ArcRegion.from_interval(Interval(0.8, 0.1))
+        assert len(region.cover()) == 2
+
+    @given(st.floats(0, 0.999), st.floats(0, 0.999),
+           st.floats(0, 0.999), st.floats(0, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_membership(self, s1, e1, s2, e2):
+        a = ArcRegion.from_interval(Interval(s1, e1))
+        b = ArcRegion.from_interval(Interval(s2, e2))
+        ab = a.intersect(b)
+        for probe in (0.01, 0.25, 0.49, 0.73, 0.97):
+            expected = a.contains((probe,)) and b.contains((probe,))
+            got = ab is not None and ab.contains((probe,))
+            assert got == expected
+
+
+class TestFrustumRegions:
+    def frustum(self):
+        base = Rect((0.0, 0.0), (1.0, 0.0))
+        top = Rect((0.25, 0.5), (0.75, 0.5))
+        return Frustum(axis=1, base=base, top=top)
+
+    def test_not_exact(self):
+        assert not FrustumRegion(self.frustum()).exact
+
+    def test_cover_is_bounding_box(self):
+        region = FrustumRegion(self.frustum())
+        assert region.cover() == (Rect((0.0, 0.0), (1.0, 0.5)),)
+
+    def test_intersect_rect_keeps_membership(self):
+        region = FrustumRegion(self.frustum())
+        restricted = region.intersect(RectRegion(Rect((0, 0), (0.5, 0.25))))
+        assert isinstance(restricted, FrustumIntersection)
+        assert restricted.contains((0.2, 0.1))
+        assert not restricted.contains((0.2, 0.4))   # outside the box
+        assert not restricted.contains((0.01, 0.24))  # outside the frustum
+
+    def test_intersect_containing_rect_returns_self(self):
+        region = FrustumRegion(self.frustum())
+        assert region.intersect(RectRegion(Rect.unit(2))) is region
+
+    def test_intersect_disjoint_rect(self):
+        region = FrustumRegion(self.frustum())
+        assert region.intersect(
+            RectRegion(Rect((0, 0.8), (1, 1)))) is None
+
+    def test_chain_intersection(self):
+        region = FrustumRegion(self.frustum())
+        first = region.intersect(RectRegion(Rect((0, 0), (0.6, 0.5))))
+        second = first.intersect(region)
+        assert isinstance(second, FrustumIntersection)
+        assert len(second.frustums) == 2

@@ -1,0 +1,65 @@
+"""Tests for the experiment builders and the churn stages."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.builders import (build_baton, build_can, build_midas,
+                                        grow_stages, mirflickr, nba_min,
+                                        nba_raw, synth)
+from repro.experiments.config import smoke_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return smoke_config()
+
+
+class TestDatasets:
+    def test_nba_deterministic_per_seed(self, config):
+        assert np.array_equal(nba_raw(config, 1), nba_raw(config, 1))
+        assert not np.array_equal(nba_raw(config, 1), nba_raw(config, 2))
+
+    def test_nba_min_is_flipped(self, config):
+        raw = nba_raw(config, 0)
+        flipped = nba_min(config, 0)
+        assert np.allclose(flipped, np.clip(1 - raw, 0, 1 - 1e-9))
+
+    def test_synth_dims(self, config):
+        assert synth(config, 4, 0).shape == (config.synth_tuples, 4)
+
+    def test_mirflickr_dims(self, config):
+        assert mirflickr(config, 0).shape == (config.mirflickr_tuples, 5)
+
+
+class TestOverlayBuilders:
+    def test_build_midas_loads_then_grows(self, config):
+        data = nba_raw(config, 0)
+        overlay = build_midas(data, 32, 7)
+        assert len(overlay) == 32
+        assert overlay.total_tuples() == len(data)
+        # data-adaptive joins: no peer hoards a large share of the data
+        assert max(len(p.store) for p in overlay.peers()) < len(data) / 4
+
+    def test_build_midas_link_policy(self, config):
+        data = nba_min(config, 0)
+        overlay = build_midas(data, 16, 7, link_policy="boundary")
+        assert overlay.link_policy == "boundary"
+
+    def test_build_can(self, config):
+        data = nba_raw(config, 0)
+        overlay = build_can(data, 24, 7)
+        assert len(overlay) == 24
+        assert overlay.total_tuples() == len(data)
+
+    def test_build_baton_bits_capped_by_dims(self, config):
+        data = synth(config, 4, 0)
+        overlay = build_baton(data, 15, 7, bits_per_dim=20)
+        assert overlay.zcurve.bits_per_dim * 4 <= 62
+
+    def test_grow_stages_increasing(self, config):
+        data = nba_raw(config, 0)
+        overlay = build_midas(data, 8, 7)
+        sizes = list(grow_stages(overlay, (8, 16, 32)))
+        assert sizes == [8, 16, 32]
+        assert len(overlay) == 32
+        assert overlay.total_tuples() == len(data)

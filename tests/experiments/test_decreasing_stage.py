@@ -1,0 +1,34 @@
+"""The decreasing stage: departures keep queries exact and cheap."""
+
+import pytest
+
+from repro.experiments.analysis_figures import decreasing_stage
+from repro.experiments.config import smoke_config
+from repro.experiments.runner import rows_to_series
+
+
+@pytest.fixture(scope="module")
+def rows():
+    config = smoke_config().scaled(
+        sizes=(2 ** 4, 2 ** 5), queries=2, network_seeds=(3,),
+        nba_tuples=1200)
+    return decreasing_stage(config)
+
+
+class TestDecreasingStage:
+    def test_all_levels_measured_at_all_sizes(self, rows):
+        series = rows_to_series(rows, "latency")
+        assert set(series) == {"r=0", "r=D/3", "r=2D/3", "r=D"}
+        for points in series.values():
+            assert [x for x, _ in points] == [2 ** 4, 2 ** 5]
+
+    def test_congestion_bounded_by_size(self, rows):
+        for row in rows:
+            assert row.congestion <= row.x
+
+    def test_results_analogous_to_increasing(self, rows):
+        """The paper's remark: decreasing-stage results are analogous —
+        smaller networks cost less, orderings unchanged."""
+        series = rows_to_series(rows, "congestion")
+        for points in series.values():
+            assert points[0][1] <= points[-1][1] * 1.5 + 5

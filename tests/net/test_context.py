@@ -1,0 +1,58 @@
+"""Unit tests for the query cost ledger."""
+
+import pytest
+
+from repro.net.context import (DuplicateVisitError, QueryContext,
+                               QueryStats)
+
+
+class TestQueryStats:
+    def test_total_messages(self):
+        stats = QueryStats(latency=3, processed=5, forward_messages=4,
+                           response_messages=2, answer_messages=1,
+                           tuples_shipped=9)
+        assert stats.total_messages == 7
+
+    def test_combine_sequential_adds_everything(self):
+        first = QueryStats(latency=3, processed=5, forward_messages=4,
+                           response_messages=2, answer_messages=1,
+                           tuples_shipped=9)
+        second = QueryStats(latency=2, processed=1, forward_messages=1,
+                            response_messages=0, answer_messages=1,
+                            tuples_shipped=3)
+        combined = first.combine_sequential(second)
+        assert combined.latency == 5
+        assert combined.processed == 6
+        assert combined.forward_messages == 5
+        assert combined.tuples_shipped == 12
+
+    def test_default_is_zero(self):
+        stats = QueryStats()
+        assert stats.latency == 0 and stats.total_messages == 0
+
+
+class TestQueryContext:
+    def test_answer_collection(self):
+        ctx = QueryContext()
+        ctx.on_answer(["t1", "t2"], 2)
+        ctx.on_answer([], 0)
+        assert ctx.collected_answers == [["t1", "t2"], []]
+        assert ctx.answer_messages == 1  # empty answers cost nothing
+        assert ctx.tuples_shipped == 2
+
+    def test_stats_snapshot(self):
+        ctx = QueryContext()
+        ctx.begin_processing("a")
+        ctx.on_forward()
+        ctx.on_response(3)
+        stats = ctx.stats(latency=7)
+        assert stats.latency == 7
+        assert stats.processed == 1
+        assert stats.forward_messages == 1
+        assert stats.response_messages == 3
+
+    def test_duplicate_error_names_peer(self):
+        ctx = QueryContext(strict=True)
+        ctx.begin_processing("peer-x")
+        with pytest.raises(DuplicateVisitError, match="peer-x"):
+            ctx.begin_processing("peer-x")

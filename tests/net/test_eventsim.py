@@ -1,0 +1,109 @@
+"""Cross-validation: message-level execution == recursive cost model.
+
+The recursive engine computes latency analytically (max over parallel
+branches, sum over sequential iterations); the event-driven engine reads
+it off message timestamps.  For identical queries on identical overlays
+the two must agree on answers, visited peers, forwards, and latency —
+for every ripple parameter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LinearScore, MidasOverlay, run_ripple
+from repro.net.eventsim import EventSimulator, event_driven_ripple
+from repro.overlays.chord import ChordOverlay
+from repro.queries.skyline import SkylineHandler
+from repro.queries.topk import TopKHandler
+
+
+class TestEventSimulator:
+    def test_fifo_at_same_time(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(1, lambda: order.append("a"))
+        sim.schedule(1, lambda: order.append("b"))
+        sim.schedule(0, lambda: order.append("first"))
+        assert sim.run() == 1
+        assert order == ["first", "a", "b"]
+
+    def test_nested_scheduling(self):
+        sim = EventSimulator()
+        times = []
+        sim.schedule(2, lambda: (times.append(sim.now),
+                                 sim.schedule(3, lambda: times.append(
+                                     sim.now))))
+        assert sim.run() == 5
+        assert times == [2, 5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventSimulator().schedule(-1, lambda: None)
+
+
+def midas_network(seed, peers=48, tuples=400):
+    rng = np.random.default_rng(seed)
+    data = rng.random((tuples, 2)) * 0.999
+    overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
+    overlay.load(data)
+    overlay.grow_to(peers)
+    return overlay
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("r", [0, 1, 3, 10 ** 9])
+    def test_topk_agrees_on_midas(self, r):
+        overlay = midas_network(3)
+        handler = TopKHandler(LinearScore([1, 1]), 5)
+        initiator = overlay.peers()[7]
+        recursive = run_ripple(initiator, handler, r,
+                               restriction=overlay.domain())
+        message_level = event_driven_ripple(initiator, handler, r,
+                                            restriction=overlay.domain())
+        assert message_level.answer == recursive.answer
+        assert message_level.stats.processed == recursive.stats.processed
+        assert message_level.stats.latency == recursive.stats.latency
+        assert (message_level.stats.forward_messages
+                == recursive.stats.forward_messages)
+
+    @pytest.mark.parametrize("r", [0, 2, 10 ** 9])
+    def test_skyline_agrees_on_midas(self, r):
+        overlay = midas_network(5)
+        handler = SkylineHandler(2)
+        initiator = overlay.peers()[0]
+        recursive = run_ripple(initiator, handler, r,
+                               restriction=overlay.domain())
+        message_level = event_driven_ripple(initiator, handler, r,
+                                            restriction=overlay.domain())
+        assert message_level.answer == recursive.answer
+        assert message_level.stats.latency == recursive.stats.latency
+        assert message_level.stats.processed == recursive.stats.processed
+
+    def test_agrees_on_chord(self):
+        overlay = ChordOverlay(size=32, seed=2)
+        overlay.load(np.random.default_rng(1).random((300, 1)) * 0.999)
+        handler = TopKHandler(LinearScore([1]), 4)
+        initiator = overlay.peers()[5]
+        for r in (0, 10 ** 9):
+            recursive = run_ripple(initiator, handler, r,
+                                   restriction=overlay.domain())
+            message_level = event_driven_ripple(
+                initiator, handler, r, restriction=overlay.domain())
+            assert message_level.answer == recursive.answer
+            assert message_level.stats.latency == recursive.stats.latency
+
+    @given(st.integers(0, 10 ** 6), st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_fuzz_agreement(self, seed, r):
+        overlay = midas_network(seed, peers=20, tuples=150)
+        handler = TopKHandler(LinearScore([1, 0.5]), 3)
+        rng = np.random.default_rng(seed)
+        initiator = overlay.random_peer(rng)
+        recursive = run_ripple(initiator, handler, r,
+                               restriction=overlay.domain())
+        message_level = event_driven_ripple(initiator, handler, r,
+                                            restriction=overlay.domain())
+        assert message_level.answer == recursive.answer
+        assert message_level.stats.latency == recursive.stats.latency
+        assert message_level.stats.processed == recursive.stats.processed

@@ -1,0 +1,108 @@
+"""Unit tests for generic greedy routing and seeded drivers."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScore, MidasOverlay
+from repro.net.routing import RoutingError, greedy_route
+from repro.queries.drivers import run_seeded
+from repro.queries.topk import TopKHandler, topk_reference
+
+
+@pytest.fixture(scope="module")
+def network():
+    rng = np.random.default_rng(41)
+    data = rng.random((600, 2)) * 0.999
+    overlay = MidasOverlay(2, size=1, seed=9, join_policy="data")
+    overlay.load(data)
+    overlay.grow_to(64)
+    return overlay, data
+
+
+class TestGreedyRoute:
+    def test_reaches_owner(self, network):
+        overlay, _ = network
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            point = tuple(rng.random(2))
+            owner, path = greedy_route(overlay.random_peer(rng), point)
+            assert owner.zone.contains(point)
+
+    def test_self_route_is_empty(self, network):
+        overlay, _ = network
+        peer = overlay.peers()[0]
+        owner, path = greedy_route(peer, peer.zone.center)
+        assert owner is peer
+        assert path == [peer]
+
+    def test_hops_bounded_by_depth(self, network):
+        overlay, _ = network
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            _, path = greedy_route(overlay.random_peer(rng),
+                                   tuple(rng.random(2)))
+            assert len(path) - 1 <= overlay.tree.max_depth()
+
+    def test_loop_detection(self):
+        """A broken overlay whose regions point back raises RoutingError."""
+        class FakePeer:
+            def __init__(self, pid):
+                self.peer_id = pid
+                self.link = None
+
+            def links(self):
+                return [self.link]
+
+        from repro.core.framework import Link
+        from repro.core.regions import RectRegion
+        from repro.common.geometry import Rect
+
+        a, b = FakePeer("a"), FakePeer("b")
+        everywhere = RectRegion(Rect.unit(2))
+        a.link = Link(peer=b, region=everywhere)
+        b.link = Link(peer=a, region=everywhere)
+        with pytest.raises(RoutingError):
+            greedy_route(a, (0.5, 0.5))
+
+
+class TestSeededDriver:
+    def test_seeded_correct_for_every_r(self, network):
+        overlay, data = network
+        fn = LinearScore([1, 1])
+        handler = TopKHandler(fn, 5)
+        reference = [s for s, _ in topk_reference(data, fn, 5)]
+        for r in (0, 2, 10 ** 9):
+            result = run_seeded(overlay.random_peer(), handler, r,
+                                restriction=overlay.domain(),
+                                seed_point=(0.999, 0.999))
+            assert [s for s, _ in result.answer] == reference
+
+    def test_seed_path_counts_in_latency(self, network):
+        overlay, _ = network
+        handler = TopKHandler(LinearScore([1, 1]), 5)
+        result = run_seeded(overlay.random_peer(), handler, 0,
+                            restriction=overlay.domain(),
+                            seed_point=(0.999, 0.999))
+        assert result.stats.latency >= 1
+
+    def test_initial_state_threads_through(self, network):
+        """An initial state that certifies everything suppresses answers."""
+        import math
+        from repro.queries.topk import TopKState
+
+        overlay, _ = network
+        handler = TopKHandler(LinearScore([1, 1]), 5)
+        result = run_seeded(overlay.random_peer(), handler, 0,
+                            restriction=overlay.domain(),
+                            seed_point=(0.999, 0.999),
+                            initial_state=TopKState((math.inf,) * 5,
+                                                    math.inf))
+        assert result.answer == []
+
+    def test_strict_mode_by_default(self, network):
+        overlay, _ = network
+        handler = TopKHandler(LinearScore([1, 1]), 3)
+        # would raise DuplicateVisitError if the seed bookkeeping leaked
+        run_seeded(overlay.random_peer(), handler, 1,
+                   restriction=overlay.domain(), seed_point=(0.5, 0.5),
+                   strict=True)

@@ -1,0 +1,94 @@
+"""Unit tests for the BATON overlay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.overlays.baton import BatonOverlay
+from repro.overlays.zcurve import ZCurve
+
+
+def build(size=63, n_tuples=2000, dims=2, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.random((n_tuples, dims)) * 0.999
+    return BatonOverlay(size, data, zcurve=ZCurve(dims, 8), seed=seed), data
+
+
+class TestStructure:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            BatonOverlay(0, np.zeros((0, 2)), zcurve=ZCurve(2, 4))
+
+    def test_ranges_partition_keyspace(self):
+        overlay, _ = build()
+        ranges = sorted((p.range_lo, p.range_hi) for p in overlay.peers())
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == overlay.zcurve.max_key + 1
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_in_order_adjacency(self):
+        overlay, _ = build()
+        for peer in overlay.peers():
+            if peer.adjacent_next is not None:
+                assert peer.range_hi == peer.adjacent_next.range_lo
+
+    def test_spans_contain_ranges(self):
+        overlay, _ = build()
+        for peer in overlay.peers():
+            assert peer.span_lo <= peer.range_lo
+            assert peer.range_hi <= peer.span_hi
+
+    def test_root_span_is_everything(self):
+        overlay, _ = build()
+        root = overlay.peers()[0]
+        assert root.span_lo == 0
+        assert root.span_hi == overlay.zcurve.max_key + 1
+
+    def test_routing_tables_same_level(self):
+        overlay, _ = build(size=31)
+        for peer in overlay.peers():
+            for entry in peer.left_table + peer.right_table:
+                assert entry.level == peer.level
+
+    def test_all_tuples_placed(self):
+        overlay, data = build(n_tuples=500)
+        assert overlay.total_tuples() == 500
+
+    def test_tuples_in_owner_range(self):
+        overlay, _ = build(size=15, n_tuples=300)
+        for peer in overlay.peers():
+            for point in peer.store.iter_points():
+                key = overlay.zcurve.encode(point)
+                assert peer.contains(key)
+
+    def test_load_balanced_with_quantile_ranges(self):
+        overlay, _ = build(size=63, n_tuples=6300)
+        sizes = [len(p.store) for p in overlay.peers()]
+        assert max(sizes) <= 3 * (6300 // 63)
+
+
+class TestRouting:
+    @given(st.integers(0, 2 ** 16 - 1), st.integers(0, 61))
+    @settings(max_examples=60, deadline=None)
+    def test_route_reaches_owner(self, key, start_index):
+        overlay, _ = build(size=62)
+        key = key % (overlay.zcurve.max_key + 1)
+        start = overlay.peers()[start_index]
+        peer, hops = overlay.route(start, key)
+        assert peer.contains(key)
+        assert hops >= 0
+
+    def test_route_is_logarithmic(self):
+        overlay, _ = build(size=255)
+        rng = np.random.default_rng(3)
+        hops = [overlay.route(overlay.random_peer(rng),
+                              int(rng.integers(overlay.zcurve.max_key)))[1]
+                for _ in range(60)]
+        assert max(hops) <= 4 * 8  # 4x log2(255)
+
+    def test_route_to_own_key_is_free(self):
+        overlay, _ = build(size=31)
+        peer = overlay.peers()[7]
+        found, hops = overlay.route(peer, peer.range_lo)
+        assert found is peer and hops == 0

@@ -1,0 +1,130 @@
+"""Unit and invariant tests for the CAN overlay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.geometry import Rect
+from repro.overlays.can import CanOverlay, _shared_face
+
+
+def zones_partition_domain(overlay):
+    total = sum(peer.zone.volume() for peer in overlay.peers())
+    assert total == pytest.approx(1.0)
+
+
+class TestStructure:
+    def test_growth(self):
+        overlay = CanOverlay(2, size=40, seed=1)
+        assert len(overlay) == 40
+        zones_partition_domain(overlay)
+
+    def test_neighbors_symmetric(self):
+        overlay = CanOverlay(2, size=32, seed=2)
+        for peer in overlay.peers():
+            for adj in peer.neighbors():
+                back = [a.peer for a in adj.peer.neighbors()]
+                assert peer in back
+
+    def test_neighbor_faces_flat_on_axis(self):
+        overlay = CanOverlay(3, size=24, seed=3)
+        for peer in overlay.peers():
+            for adj in peer.neighbors():
+                assert adj.face.lo[adj.axis] == adj.face.hi[adj.axis]
+                if adj.side > 0:
+                    assert adj.face.lo[adj.axis] == peer.zone.hi[adj.axis]
+                else:
+                    assert adj.face.lo[adj.axis] == peer.zone.lo[adj.axis]
+
+    def test_every_interior_peer_has_2d_neighbors_at_least(self):
+        overlay = CanOverlay(2, size=64, seed=4)
+        for peer in overlay.peers():
+            sides = {(a.axis, a.side) for a in peer.neighbors()}
+            expected = sum(
+                1 for dim in range(2) for side, bound in
+                [(-1, peer.zone.lo[dim] > 0), (+1, peer.zone.hi[dim] < 1)]
+                if bound)
+            assert len(sides) == expected
+
+    def test_churn_preserves_partition(self):
+        overlay = CanOverlay(2, size=32, seed=5)
+        rng = np.random.default_rng(0)
+        data = rng.random((100, 2)) * 0.999
+        overlay.load(data)
+        for _ in range(40):
+            if len(overlay) > 1 and rng.random() < 0.5:
+                overlay.leave()
+            else:
+                overlay.join()
+        zones_partition_domain(overlay)
+        assert overlay.total_tuples() == 100
+
+
+class TestFrustumRegions:
+    @pytest.mark.parametrize("dims,size", [(2, 20), (3, 30)])
+    def test_regions_partition_domain(self, dims, size):
+        """Every point outside a peer's zone lies in exactly one
+        neighbor frustum — requirement (ii) of Section 3.1."""
+        overlay = CanOverlay(dims, size=size, seed=6)
+        rng = np.random.default_rng(1)
+        for peer in list(overlay.peers())[::5]:
+            links = peer.links()
+            for _ in range(40):
+                point = tuple(rng.random(dims))
+                if peer.zone.contains(point):
+                    continue
+                owners = [ln for ln in links if ln.region.contains(point)]
+                assert len(owners) >= 1, (peer.zone, point)
+                # boundary overlap between frustums is measure-zero
+                assert len(owners) <= 2
+
+    def test_frustum_top_is_shared_face(self):
+        overlay = CanOverlay(2, size=16, seed=7)
+        peer = overlay.peers()[0]
+        for adj, link in zip(peer.neighbors(), peer.links()):
+            frustum = link.region.frustum
+            assert frustum.top.lo[adj.axis] == frustum.top.hi[adj.axis]
+
+
+class TestRouting:
+    def test_greedy_route_reaches_owner(self):
+        from repro.net.routing import greedy_route
+
+        overlay = CanOverlay(2, size=48, seed=8)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            point = tuple(rng.random(2))
+            start = overlay.random_peer(rng)
+            owner, path = greedy_route(start, point)
+            assert owner.zone.contains(point)
+            assert path[0] is start and path[-1] is owner
+
+    def test_route_hops_scale_with_grid(self):
+        from repro.net.routing import greedy_route
+
+        overlay = CanOverlay(2, size=100, seed=9)
+        rng = np.random.default_rng(3)
+        hops = [len(greedy_route(overlay.random_peer(rng),
+                                 tuple(rng.random(2)))[1]) - 1
+                for _ in range(20)]
+        # CAN routing is O(d * n^(1/d)): generous envelope
+        assert max(hops) <= 4 * 2 * int(np.ceil(100 ** 0.5))
+
+
+class TestSharedFace:
+    def test_abutting(self):
+        a = Rect((0, 0), (0.5, 1))
+        b = Rect((0.5, 0.25), (1, 0.75))
+        axis, side, face = _shared_face(a, b)
+        assert (axis, side) == (0, +1)
+        assert face == Rect((0.5, 0.25), (0.5, 0.75))
+
+    def test_corner_contact_rejected(self):
+        a = Rect((0, 0), (0.5, 0.5))
+        b = Rect((0.5, 0.5), (1, 1))
+        assert _shared_face(a, b) is None
+
+    def test_gap_rejected(self):
+        a = Rect((0, 0), (0.4, 1))
+        b = Rect((0.6, 0), (1, 1))
+        assert _shared_face(a, b) is None

@@ -1,0 +1,47 @@
+"""Unit tests for the Section 5.2 boundary identifier patterns."""
+
+from hypothesis import given, strategies as st
+
+from repro.overlays.patterns import alive_patterns, matches_any_pattern
+
+bits = st.lists(st.integers(0, 1), max_size=12)
+
+
+class TestAlivePatterns:
+    def test_empty_prefix_matches_all(self):
+        assert alive_patterns((), 3) == frozenset({0, 1, 2})
+
+    def test_all_zero_matches_all(self):
+        assert alive_patterns((0, 0, 0, 0), 2) == frozenset({0, 1})
+
+    def test_one_restricts_to_its_residue(self):
+        # a 1 at position 2 keeps only pattern j = 2 mod D alive
+        assert alive_patterns((0, 0, 1), 2) == frozenset({0})
+        assert alive_patterns((0, 1), 2) == frozenset({1})
+
+    def test_two_conflicting_ones_kill_everything(self):
+        assert alive_patterns((1, 1), 2) == frozenset()
+
+    def test_ones_in_same_residue_ok(self):
+        # positions 0 and 2 are both residue 0 (mod 2)
+        assert alive_patterns((1, 0, 1), 2) == frozenset({0})
+
+    def test_paper_2d_examples(self):
+        # p_h = (X0)*X?  — free at even positions; p_v = (0X)*0?
+        assert matches_any_pattern((1, 0, 1, 0), 2)   # matches p at j=0
+        assert matches_any_pattern((0, 1, 0, 1), 2)   # matches p at j=1
+        assert not matches_any_pattern((1, 1), 2)
+
+    @given(bits, st.integers(2, 4))
+    def test_prefix_closed(self, path, dims):
+        """Once dead, forever dead (the paper's derivation argument)."""
+        path = tuple(path)
+        if not matches_any_pattern(path, dims):
+            for extra in ((0,), (1,), (0, 1)):
+                assert not matches_any_pattern(path + extra, dims)
+
+    @given(bits, st.integers(2, 4))
+    def test_alive_shrinks_with_extension(self, path, dims):
+        path = tuple(path)
+        assert alive_patterns(path + (1,), dims) <= alive_patterns(path, dims)
+        assert alive_patterns(path + (0,), dims) == alive_patterns(path, dims)

@@ -1,0 +1,150 @@
+"""Unit and integration tests for distributed skylines (Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MidasOverlay, dominates
+from repro.common.geometry import Rect, as_point
+from repro.common.store import LocalStore
+from repro.core.regions import RectRegion
+from repro.queries.skyline import (
+    SkylineHandler,
+    distributed_skyline,
+    skyline_of,
+    skyline_of_array,
+    skyline_reference,
+)
+
+point_lists = st.lists(
+    st.tuples(st.floats(0, 0.999), st.floats(0, 0.999)), max_size=60)
+
+
+class TestSkylineOf:
+    def test_simple(self):
+        pts = [(0.5, 0.5), (0.2, 0.8), (0.6, 0.6), (0.8, 0.1)]
+        assert sorted(skyline_of(pts)) == [(0.2, 0.8), (0.5, 0.5), (0.8, 0.1)]
+
+    def test_empty(self):
+        assert skyline_of([]) == []
+
+    def test_duplicates_collapse(self):
+        assert skyline_of([(0.5, 0.5), (0.5, 0.5)]) == [(0.5, 0.5)]
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_skyline_properties(self, pts):
+        sky = skyline_of(pts)
+        # no member dominates another
+        for a in sky:
+            for b in sky:
+                assert not dominates(a, b)
+        # every point is dominated by or equal to some skyline member
+        for p in set(pts):
+            assert p in sky or any(dominates(s, p) for s in sky)
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_array_version_agrees(self, pts):
+        arr = np.array(pts, dtype=float).reshape(-1, 2)
+        from_array = sorted({as_point(r) for r in skyline_of_array(arr)})
+        assert from_array == sorted(skyline_of(pts))
+
+
+class TestHandler:
+    def test_compute_local_state_filters_dominated(self):
+        h = SkylineHandler(2)
+        store = LocalStore(2, [(0.5, 0.5), (0.9, 0.9)])
+        state = h.compute_local_state(store, ((0.1, 0.1),))
+        assert state == ()  # local skyline fully dominated by global view
+
+    def test_compute_local_state_keeps_survivors(self):
+        h = SkylineHandler(2)
+        store = LocalStore(2, [(0.5, 0.1), (0.9, 0.9)])
+        state = h.compute_local_state(store, ((0.1, 0.5),))
+        assert state == ((0.5, 0.1),)
+
+    def test_global_state_is_merged_skyline(self):
+        h = SkylineHandler(2)
+        merged = h.compute_global_state(((0.1, 0.9),), ((0.5, 0.5), (0.2, 0.8)))
+        assert merged == ((0.1, 0.9), (0.2, 0.8), (0.5, 0.5))
+
+    def test_update_local_state_unions(self):
+        h = SkylineHandler(2)
+        merged = h.update_local_state([((0.1, 0.9),), ((0.9, 0.1),),
+                                       ((0.5, 0.5),)])
+        assert len(merged) == 3
+
+    def test_link_pruned_when_dominated(self):
+        h = SkylineHandler(2)
+        region = RectRegion(Rect((0.5, 0.5), (1.0, 1.0)))
+        assert not h.is_link_relevant(region, ((0.2, 0.2),))
+        assert h.is_link_relevant(region, ((0.2, 0.6),))
+
+    def test_priority_prefers_origin(self):
+        h = SkylineHandler(2)
+        near = RectRegion(Rect((0.0, 0.0), (0.2, 0.2)))
+        far = RectRegion(Rect((0.5, 0.5), (1.0, 1.0)))
+        assert h.link_priority(near) < h.link_priority(far)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SkylineHandler(0)
+
+
+class TestDistributed:
+    @pytest.fixture(scope="class")
+    def network(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((700, 3)) * 0.999
+        overlay = MidasOverlay(3, size=1, seed=21, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(80)
+        return overlay, data
+
+    def test_matches_reference_all_modes(self, network):
+        overlay, data = network
+        ref = skyline_reference(data)
+        for r in (0, 2, 10 ** 6):
+            res = distributed_skyline(overlay.random_peer(), 3,
+                                      restriction=overlay.domain(), r=r)
+            assert res.answer == ref
+
+    def test_cold_matches_reference(self, network):
+        overlay, data = network
+        ref = skyline_reference(data)
+        res = distributed_skyline(overlay.random_peer(), 3,
+                                  restriction=overlay.domain(), r=0,
+                                  seeded=False)
+        assert res.answer == ref
+
+    def test_boundary_policy_correct_and_cheaper_shipping(self):
+        rng = np.random.default_rng(9)
+        data = rng.random((1200, 2)) * 0.999
+        results = {}
+        for policy in ("random", "boundary"):
+            overlay = MidasOverlay(2, size=1, seed=31, link_policy=policy,
+                                   join_policy="data")
+            overlay.load(data)
+            overlay.grow_to(128)
+            ref = skyline_reference(data)
+            res = distributed_skyline(overlay.random_peer(), 2,
+                                      restriction=overlay.domain(), r=10 ** 6)
+            assert res.answer == ref
+            results[policy] = res.stats
+        # Section 5.2: boundary-aware links reduce wasted traffic.
+        assert results["boundary"].tuples_shipped <= \
+            2 * results["random"].tuples_shipped
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=8, deadline=None)
+    def test_random_networks(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random((150, 2)) * 0.999
+        overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(20)
+        res = distributed_skyline(overlay.random_peer(rng), 2,
+                                  restriction=overlay.domain(),
+                                  r=int(rng.integers(0, 5)))
+        assert res.answer == skyline_reference(data)

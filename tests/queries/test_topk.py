@@ -1,0 +1,157 @@
+"""Unit and integration tests for distributed top-k (Section 4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LinearScore, MidasOverlay, NearestScore
+from repro.common.store import LocalStore
+from repro.core.regions import RectRegion
+from repro.common.geometry import Rect
+from repro.queries.topk import (
+    TopKHandler,
+    TopKState,
+    distributed_topk,
+    topk_reference,
+)
+
+
+def handler(k=3, weights=(1, 1)):
+    return TopKHandler(LinearScore(weights), k)
+
+
+class TestState:
+    def test_initial_state_cannot_prune(self):
+        h = handler()
+        state = h.initial_state()
+        assert h.tau(state) == -math.inf
+        assert h.is_link_relevant(RectRegion(Rect.unit(2)), state)
+
+    def test_tau_needs_k_scores(self):
+        h = handler(k=3)
+        assert h.tau(TopKState((5.0, 4.0))) == -math.inf
+        assert h.tau(TopKState((5.0, 4.0, 3.0))) == 3.0
+
+    def test_floor_overrides_short_list(self):
+        h = handler(k=3)
+        assert h.tau(TopKState((5.0,), floor=2.0)) == 2.0
+
+    def test_merge_keeps_best_k(self):
+        h = handler(k=3)
+        merged = h.update_local_state(
+            [TopKState((5.0, 1.0)), TopKState((4.0, 3.0))])
+        assert merged.scores == (5.0, 4.0, 3.0)
+
+    def test_merge_remembers_certificate_floor(self):
+        h = handler(k=2)
+        merged = h.update_local_state([TopKState((5.0, 4.0))])
+        assert merged.floor == 4.0
+
+    def test_neutral_is_identity(self):
+        h = handler(k=3)
+        state = TopKState((5.0, 4.0), floor=1.0)
+        neutral = h.neutral_local_state()
+        assert h.update_local_state([state, neutral]).scores == state.scores
+
+    def test_compute_local_state_respects_cutoff(self):
+        h = handler(k=2)
+        store = LocalStore(2, [(0.9, 0.9), (0.1, 0.1)])
+        state = h.compute_local_state(store, TopKState((9.9, 1.5)))
+        assert state.scores == (pytest.approx(1.8),)
+        assert state.floor == 1.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            handler(k=0)
+
+
+class TestLinkDecisions:
+    def test_relevant_when_bound_reaches_tau(self):
+        h = handler(k=1)
+        state = TopKState((1.0,))
+        good = RectRegion(Rect((0.4, 0.7), (0.6, 0.9)))   # f+ = 1.5
+        bad = RectRegion(Rect((0.1, 0.1), (0.3, 0.3)))    # f+ = 0.6
+        assert h.is_link_relevant(good, state)
+        assert not h.is_link_relevant(bad, state)
+
+    def test_priority_prefers_higher_bound(self):
+        h = handler()
+        near = RectRegion(Rect((0.8, 0.8), (1.0, 1.0)))
+        far = RectRegion(Rect((0.0, 0.0), (0.2, 0.2)))
+        assert h.link_priority(near) < h.link_priority(far)
+
+
+class TestSeededExecution:
+    @pytest.fixture(scope="class")
+    def network(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((800, 3)) * 0.999
+        overlay = MidasOverlay(3, size=1, seed=11, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(100)
+        return overlay, data
+
+    def test_seeded_matches_reference(self, network):
+        overlay, data = network
+        fn = LinearScore([1, 2, 0.5])
+        ref = topk_reference(data, fn, 10)
+        for r in (0, 3, 10 ** 6):
+            res = distributed_topk(overlay.random_peer(), fn, 10,
+                                   restriction=overlay.domain(), r=r)
+            assert [s for s, _ in res.answer] == [s for s, _ in ref]
+
+    def test_seeded_nearest_neighbor(self, network):
+        overlay, data = network
+        fn = NearestScore((0.4, 0.5, 0.6))
+        ref = topk_reference(data, fn, 5)
+        res = distributed_topk(overlay.random_peer(), fn, 5,
+                               restriction=overlay.domain(), r=0)
+        assert [s for s, _ in res.answer] == pytest.approx(
+            [s for s, _ in ref])
+
+    def test_seeded_prunes_versus_cold(self, network):
+        overlay, _ = network
+        fn = LinearScore([1, 1, 1])
+        seeded = distributed_topk(overlay.random_peer(), fn, 5,
+                                  restriction=overlay.domain(), r=0)
+        cold = distributed_topk(overlay.random_peer(), fn, 5,
+                                restriction=overlay.domain(), r=0,
+                                seeded=False)
+        assert seeded.stats.processed < cold.stats.processed
+
+    def test_seeded_latency_logarithmic(self, network):
+        overlay, _ = network
+        fn = LinearScore([1, 1, 1])
+        res = distributed_topk(overlay.random_peer(), fn, 5,
+                               restriction=overlay.domain(), r=0)
+        # routing + probe + fan-out, all O(depth)-ish
+        assert res.stats.latency < 6 * overlay.tree.max_depth()
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_initiator_and_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random((120, 2)) * 0.999
+        overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(24)
+        fn = LinearScore([1, 1])
+        ref = [s for s, _ in topk_reference(data, fn, 4)]
+        res = distributed_topk(overlay.random_peer(rng), fn, 4,
+                               restriction=overlay.domain(),
+                               r=int(rng.integers(0, 6)))
+        assert [s for s, _ in res.answer] == ref
+
+
+class TestReference:
+    def test_reference_sorted_and_tiebroken(self):
+        data = np.array([[0.5, 0.5], [0.9, 0.1], [0.1, 0.9]])
+        fn = LinearScore([1, 1])
+        ref = topk_reference(data, fn, 3)
+        assert [t for _, t in ref] == [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1)]
+
+    def test_reference_k_truncates(self):
+        data = np.random.default_rng(0).random((50, 2))
+        assert len(topk_reference(data, LinearScore([1, 1]), 7)) == 7

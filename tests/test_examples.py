@@ -1,0 +1,34 @@
+"""Smoke tests: the example scripts run end to end.
+
+The heavyweight examples (nba_allstars, photo_diversity) are exercised by
+the experiment suite's equivalents; here we run the fast ones as real
+subprocesses so a packaging or API regression that only bites script
+users is caught.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "midas_anatomy.py",
+                 "overlay_genericity.py", "vertical_middleware.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their findings"
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "nba_allstars.py", "photo_diversity.py",
+            "midas_anatomy.py", "overlay_genericity.py",
+            "vertical_middleware.py"} <= present

@@ -1,0 +1,137 @@
+"""Tests for the vertical top-k algorithms (Section 2.1 lineage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vertical.algorithms import fagin, klee, threshold_algorithm, tput
+from repro.vertical.network import VerticalNetwork
+
+
+def network(n=200, m=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return VerticalNetwork(rng.random((n, m)))
+
+
+class TestNetwork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VerticalNetwork(np.zeros((5,)))
+        with pytest.raises(ValueError):
+            VerticalNetwork(np.zeros((5, 1)))
+
+    def test_sorted_access_descending(self):
+        net = network()
+        from repro.vertical.network import AccessStats
+        stats = AccessStats()
+        values = [net.peers[0].sorted_access(i, stats)[1] for i in range(20)]
+        assert values == sorted(values, reverse=True)
+        assert stats.sorted_accesses == 20
+
+    def test_random_access_counts(self):
+        net = network()
+        from repro.vertical.network import AccessStats
+        stats = AccessStats()
+        value = net.peers[1].random_access(7, stats)
+        assert value == pytest.approx(net.data[7, 1])
+        assert stats.random_accesses == 1
+
+    def test_above_threshold(self):
+        net = network()
+        from repro.vertical.network import AccessStats
+        out = net.peers[0].above_threshold(0.9, AccessStats())
+        assert all(v >= 0.9 for _, v in out)
+        assert len(out) == int((net.data[:, 0] >= 0.9).sum())
+
+    def test_reference(self):
+        net = network()
+        ref = net.reference_topk(5, [1, 1, 1])
+        assert len(ref) == 5
+        assert ref[0][0] >= ref[-1][0]
+
+
+class TestExactAlgorithms:
+    @pytest.mark.parametrize("algorithm", [fagin, threshold_algorithm, tput])
+    def test_matches_reference(self, algorithm):
+        net = network(seed=1)
+        ref = net.reference_topk(10, [1, 1, 1])
+        result = algorithm(net, 10)
+        assert [s for s, _ in result.answer] == \
+            pytest.approx([s for s, _ in ref])
+
+    @pytest.mark.parametrize("algorithm", [fagin, threshold_algorithm, tput])
+    def test_weighted(self, algorithm):
+        net = network(seed=2)
+        weights = [2.0, 0.5, 1.0]
+        ref = net.reference_topk(5, weights)
+        result = algorithm(net, 5, weights)
+        assert [s for s, _ in result.answer] == \
+            pytest.approx([s for s, _ in ref])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_algorithm(network(), 3, [-1, 1, 1])
+
+    def test_weight_count_checked(self):
+        with pytest.raises(ValueError):
+            tput(network(), 3, [1, 1])
+
+    def test_ta_prunes_accesses(self):
+        """TA stops early: it reads far fewer than all n*m values."""
+        net = network(n=2000, m=3, seed=3)
+        result = threshold_algorithm(net, 5)
+        assert result.stats.total_accesses < 2000 * 3 / 2
+
+    def test_ta_never_more_sorted_rows_than_fa(self):
+        """TA's stopping rule fires no later than FA's (both lockstep)."""
+        net1, net2 = network(seed=4), network(seed=4)
+        ta = threshold_algorithm(net1, 5)
+        fa = fagin(net2, 5)
+        assert ta.stats.rounds <= fa.stats.rounds + 1
+
+    def test_tput_three_rounds(self):
+        result = tput(network(seed=5), 5)
+        assert result.stats.rounds == 3
+
+    @given(st.integers(0, 10 ** 6), st.integers(1, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_fuzz_exactness(self, seed, k):
+        rng = np.random.default_rng(seed)
+        net = VerticalNetwork(rng.random((80, 4)))
+        weights = list(rng.random(4))
+        ref = [s for s, _ in net.reference_topk(k, weights)]
+        for algorithm in (fagin, threshold_algorithm, tput):
+            fresh = VerticalNetwork(net.data)
+            result = algorithm(fresh, k, weights)
+            assert [s for s, _ in result.answer] == pytest.approx(ref)
+
+
+class TestKlee:
+    def test_two_rounds_no_random_access(self):
+        result = klee(network(seed=6), 5)
+        assert result.stats.rounds == 2
+        assert result.stats.random_accesses == 0
+
+    def test_estimates_upper_bound_truth(self):
+        net = network(seed=7)
+        result = klee(net, 5)
+        for estimate, obj in result.answer:
+            assert estimate >= net.score(obj, np.ones(3)) - 1e-9
+
+    def test_reasonable_recall_on_correlated_lists(self):
+        """KLEE's sweet spot: attribute ranks agree, so shallow prefixes
+        already contain the true winners."""
+        rng = np.random.default_rng(8)
+        base = rng.random((1000, 1))
+        data = np.clip(base + rng.normal(0, 0.02, (1000, 3)), 0, 1)
+        net = VerticalNetwork(data)
+        ref_ids = {obj for _, obj in net.reference_topk(10, [1, 1, 1])}
+        got_ids = {obj for _, obj in klee(net, 10, prefix_factor=5).answer}
+        assert len(ref_ids & got_ids) >= 7
+
+    def test_deep_prefix_converges_to_truth(self):
+        net = network(n=300, seed=9)
+        ref_ids = {obj for _, obj in net.reference_topk(5, [1, 1, 1])}
+        got_ids = {obj for _, obj in
+                   klee(net, 5, prefix_factor=60).answer}
+        assert ref_ids == got_ids
