@@ -1,0 +1,174 @@
+"""Robustness: RIPPLE under churn and message loss (fault-injection layer).
+
+Sweeps crash fraction x r over MIDAS, Chord, and CAN and records the
+degradation profile: completeness, unreachable volume, fired timeouts,
+retransmissions, and re-routes all ride on the benchmark's ``extra_info``
+via :meth:`QueryStats.as_dict`.  The wall-clock number measures the
+supervised simulator (acks, watchdogs, retries included).
+
+Also runnable as a script for quick sweeps outside pytest::
+
+    PYTHONPATH=src python -m benchmarks.bench_churn --smoke
+    PYTHONPATH=src python -m benchmarks.bench_churn --peers 128 \
+        --out churn.json
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
+                   Rect, TopKHandler)
+from repro.net.faults import FaultPlan, resilient_ripple
+from repro.queries.rangeq import RangeHandler
+
+from .conftest import attach
+
+
+def build_overlay(kind, *, peers, tuples, seed):
+    rng = np.random.default_rng(seed)
+    if kind == "chord":
+        overlay = ChordOverlay(size=peers, seed=seed)
+        overlay.load(rng.random((tuples, 1)) * 0.999)
+        return overlay
+    data = rng.random((tuples, 2)) * 0.999
+    if kind == "midas":
+        overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
+    else:
+        overlay = CanOverlay(2, size=1, seed=seed)
+    overlay.load(data)
+    overlay.grow_to(peers)
+    return overlay
+
+
+def handler_for(kind, query):
+    dims = 1 if kind == "chord" else 2
+    if query == "topk":
+        return TopKHandler(LinearScore([1.0] * dims), 8)
+    return RangeHandler(Rect((0.0,) * dims, (1.0,) * dims))
+
+
+def run_one(overlay, kind, query, r, crash_fraction, seed, *,
+            drop_prob=0.05, jitter=1):
+    plan = FaultPlan.churn(overlay, crash_fraction=crash_fraction,
+                           seed=seed, drop_prob=drop_prob, jitter=jitter)
+    handler = handler_for(kind, query)
+    initiator = overlay.random_peer(np.random.default_rng(seed))
+    return resilient_ripple(initiator, handler, r,
+                            restriction=overlay.domain(), faults=plan)
+
+
+# -- pytest-benchmark sweep --------------------------------------------------
+
+OVERLAYS = ("midas", "chord", "can")
+CHURN_GRID = [(0.0, 0), (0.1, 0), (0.1, 10 ** 9), (0.25, 0)]
+
+
+@pytest.mark.parametrize("kind", OVERLAYS)
+@pytest.mark.parametrize("crash,r", CHURN_GRID,
+                         ids=[f"crash{int(c * 100)}-r{min(r, 99)}"
+                              for c, r in CHURN_GRID])
+def test_churn_sweep(benchmark, kind, crash, r):
+    overlay = build_overlay(kind, peers=64, tuples=600, seed=17)
+
+    def run():
+        return run_one(overlay, kind, "range", r, crash, seed=29)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    stats = result.stats
+    assert 0.0 <= stats.completeness <= 1.0
+    if crash == 0.0:
+        assert stats.unreachable_volume == 0.0
+    elif stats.completeness < 1.0:
+        assert stats.unreachable_volume > 0.0
+        assert stats.timeouts > 0
+    benchmark.extra_info["overlay"] = kind
+    benchmark.extra_info["crash_fraction"] = crash
+    benchmark.extra_info["r"] = min(r, 10 ** 6)
+    attach(benchmark, result)
+
+
+@pytest.mark.parametrize("kind", OVERLAYS)
+def test_loss_only_recovers(benchmark, kind):
+    """15% message loss, no crashes: retries repair everything."""
+    overlay = build_overlay(kind, peers=48, tuples=400, seed=5)
+
+    def run():
+        plan = FaultPlan(seed=31, drop_prob=0.15)
+        handler = handler_for(kind, "range")
+        return resilient_ripple(overlay.random_peer(np.random.default_rng(5)),
+                                handler, 0, restriction=overlay.domain(),
+                                faults=plan)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.completeness == 1.0
+    assert result.stats.retries > 0
+    benchmark.extra_info["overlay"] = kind
+    attach(benchmark, result)
+
+
+# -- CLI sweep ---------------------------------------------------------------
+
+def sweep(*, peers, tuples, seeds, crash_fractions, rs, drop_prob, jitter):
+    rows = []
+    for kind in OVERLAYS:
+        for seed in seeds:
+            overlay = build_overlay(kind, peers=peers, tuples=tuples,
+                                    seed=seed)
+            for crash in crash_fractions:
+                for r in rs:
+                    result = run_one(overlay, kind, "range", r, crash,
+                                     seed=seed + 1000,
+                                     drop_prob=drop_prob, jitter=jitter)
+                    row = {"overlay": kind, "peers": peers, "seed": seed,
+                           "crash_fraction": crash, "r": min(r, 10 ** 6),
+                           "drop_prob": drop_prob}
+                    row.update(result.stats.as_dict())
+                    rows.append(row)
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="RIPPLE completeness/latency under churn")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny network, one seed (CI sanity run)")
+    parser.add_argument("--peers", type=int, default=64)
+    parser.add_argument("--tuples", type=int, default=600)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--crash", type=float, nargs="+",
+                        default=[0.0, 0.1, 0.25])
+    parser.add_argument("--drop", type=float, default=0.05)
+    parser.add_argument("--jitter", type=int, default=1)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write JSON rows here instead of stdout")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.peers, args.tuples, args.seeds = 16, 120, [0]
+        args.crash = [0.0, 0.25]
+
+    rows = sweep(peers=args.peers, tuples=args.tuples, seeds=args.seeds,
+                 crash_fractions=args.crash, rs=[0, 10 ** 9],
+                 drop_prob=args.drop, jitter=args.jitter)
+    payload = json.dumps(rows, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+
+    # sanity for CI: every fault-free run is complete, every run bounded
+    for row in rows:
+        assert 0.0 <= row["completeness"] <= 1.0
+        if row["crash_fraction"] == 0.0 and row["drop_prob"] == 0.0:
+            assert row["completeness"] == 1.0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,9 +108,15 @@ def overlays(config) -> OverlayCache:
 
 
 def attach(benchmark, result) -> None:
-    """Publish the paper's metrics on the benchmark record."""
+    """Publish the paper's metrics on the benchmark record.
+
+    Serializes the whole :meth:`QueryStats.as_dict` ledger so fault
+    counters (timeouts, retries, completeness, ...) travel with the
+    benchmark JSON automatically; the legacy key names are kept as
+    aliases for existing tooling.
+    """
     stats = result.stats
+    benchmark.extra_info.update(stats.as_dict())
     benchmark.extra_info["latency_hops"] = stats.latency
     benchmark.extra_info["congestion_peers"] = stats.processed
     benchmark.extra_info["messages"] = stats.total_messages
-    benchmark.extra_info["tuples_shipped"] = stats.tuples_shipped

@@ -33,6 +33,8 @@ from .core.handler import QueryHandler
 from .core.regions import (ArcRegion, FrustumRegion, RectRegion, Region,
                            domain_region)
 from .net.context import QueryResult, QueryStats
+from .net.eventsim import event_driven_ripple
+from .net.faults import FaultPlan, resilient_ripple
 from .overlays.baton import BatonOverlay, BatonPeer
 from .overlays.can import CanOverlay, CanPeer
 from .overlays.chord import ChordOverlay, ChordPeer
@@ -55,6 +57,7 @@ __all__ = [
     "ChordOverlay",
     "ChordPeer",
     "DiversificationObjective",
+    "FaultPlan",
     "Frustum",
     "FrustumRegion",
     "Interval",
@@ -82,7 +85,9 @@ __all__ = [
     "distributed_topk",
     "domain_region",
     "dominates",
+    "event_driven_ripple",
     "greedy_diversify",
+    "resilient_ripple",
     "run_fast",
     "run_ripple",
     "run_slow",

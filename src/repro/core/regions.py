@@ -34,6 +34,7 @@ __all__ = [
     "FrustumRegion",
     "FrustumIntersection",
     "domain_region",
+    "region_volume",
 ]
 
 
@@ -81,6 +82,17 @@ class RectRegion(Region):
 def domain_region(dims: int) -> RectRegion:
     """The unrestricted restriction area: the whole unit domain."""
     return RectRegion(Rect.unit(dims))
+
+
+def region_volume(region: Region) -> float:
+    """Volume of a region via its rectangle cover.
+
+    Exact for rectangular and arc regions (their covers tile the region);
+    an over-estimate for frustums (bounding boxes), which makes volume
+    accounting — e.g. the fault engine's completeness metric — merely
+    conservative there.
+    """
+    return sum(rect.volume() for rect in region.cover())
 
 
 @dataclass(frozen=True)

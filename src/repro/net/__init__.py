@@ -1,7 +1,25 @@
-"""Simulation runtime: cost accounting and overlay-agnostic routing."""
+"""Simulation runtime: cost accounting, routing, and fault injection."""
 
 from .context import DuplicateVisitError, QueryContext, QueryResult, QueryStats
-from .routing import RoutingError, greedy_route
+from .routing import RoutingError, greedy_route, route_around
 
 __all__ = ["DuplicateVisitError", "QueryContext", "QueryResult",
-           "QueryStats", "RoutingError", "greedy_route"]
+           "QueryStats", "RoutingError", "greedy_route", "route_around",
+           "EventSimulator", "event_driven_ripple", "DEFAULT_MAX_EVENTS",
+           "FaultPlan", "region_volume", "resilient_ripple"]
+
+_EVENTSIM = {"EventSimulator", "event_driven_ripple", "DEFAULT_MAX_EVENTS"}
+_FAULTS = {"FaultPlan", "region_volume", "resilient_ripple"}
+
+
+def __getattr__(name: str):
+    # Lazy so that repro.core.framework can import .context while this
+    # package initializes without cycling through the engines (which
+    # import the framework back).
+    if name in _EVENTSIM:
+        from . import eventsim
+        return getattr(eventsim, name)
+    if name in _FAULTS:
+        from . import faults
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,11 +15,19 @@ A :class:`QueryContext` is threaded through a single query execution and
 collects these plus secondary traffic metrics (messages, shipped tuples).
 Multi-round operations (k-diversification) merge the contexts of their
 sub-queries with :meth:`QueryStats.combine_sequential`.
+
+Fault accounting (see :mod:`repro.net.faults`): executions under an
+injected :class:`~repro.net.faults.FaultPlan` additionally record fired
+timeouts, retransmissions, re-routed forwards, dropped messages, and the
+domain volume that could not be reached.  The headline robustness metric
+is **completeness** — the fraction of the restricted domain volume that
+was actually processed — so a degraded query returns a partial answer
+with an explicit quality bound instead of hanging or crashing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Hashable
 
 __all__ = ["QueryContext", "QueryStats", "QueryResult", "DuplicateVisitError"]
@@ -45,13 +53,27 @@ class QueryStats:
     response_messages: int = 0
     answer_messages: int = 0
     tuples_shipped: int = 0
+    # -- fault accounting (nonzero only under an injected FaultPlan) ------
+    timeouts: int = 0
+    retries: int = 0
+    reroutes: int = 0
+    dropped_messages: int = 0
+    ack_messages: int = 0
+    unreachable_volume: float = 0.0
+    #: Fraction of the restricted domain volume actually processed; 1.0
+    #: for fault-free executions, < 1.0 when regions were abandoned.
+    completeness: float = 1.0
 
     @property
     def total_messages(self) -> int:
         return self.forward_messages + self.response_messages + self.answer_messages
 
     def combine_sequential(self, other: "QueryStats") -> "QueryStats":
-        """Aggregate a follow-up round executed after this one."""
+        """Aggregate a follow-up round executed after this one.
+
+        Completeness combines by ``min``: a multi-round answer is only as
+        complete as its least complete round.
+        """
         return QueryStats(
             latency=self.latency + other.latency,
             processed=self.processed + other.processed,
@@ -59,7 +81,20 @@ class QueryStats:
             response_messages=self.response_messages + other.response_messages,
             answer_messages=self.answer_messages + other.answer_messages,
             tuples_shipped=self.tuples_shipped + other.tuples_shipped,
+            timeouts=self.timeouts + other.timeouts,
+            retries=self.retries + other.retries,
+            reroutes=self.reroutes + other.reroutes,
+            dropped_messages=self.dropped_messages + other.dropped_messages,
+            ack_messages=self.ack_messages + other.ack_messages,
+            unreachable_volume=self.unreachable_volume + other.unreachable_volume,
+            completeness=min(self.completeness, other.completeness),
         )
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Every metric (including derived ones) as a flat JSON-ready dict."""
+        out: dict[str, int | float] = asdict(self)
+        out["total_messages"] = self.total_messages
+        return out
 
 
 @dataclass
@@ -85,6 +120,21 @@ class QueryContext:
     answer_messages: int = 0
     tuples_shipped: int = 0
     collected_answers: list[Any] = field(default_factory=list)
+    # -- fault accounting -------------------------------------------------
+    timeouts: int = 0
+    retries: int = 0
+    reroutes: int = 0
+    dropped_messages: int = 0
+    ack_messages: int = 0
+    unreachable_volume: float = 0.0
+    #: Volume of the query's initial restriction area; the denominator of
+    #: the completeness metric.  0.0 means "not tracked" (fault-free
+    #: engines) and yields completeness 1.0.
+    restriction_volume: float = 0.0
+    #: High-water mark of simulation time at which real query progress
+    #: happened; the latency of a resilient execution (control events such
+    #: as cancelled timers must not stretch the critical path).
+    last_activity: int = 0
 
     def begin_processing(self, peer_id: Hashable) -> bool:
         """Record a visit; return True when the peer processes local data.
@@ -113,6 +163,39 @@ class QueryContext:
             self.answer_messages += 1
             self.tuples_shipped += size
 
+    # -- fault events ------------------------------------------------------
+
+    def on_timeout(self) -> None:
+        self.timeouts += 1
+
+    def on_retry(self) -> None:
+        self.retries += 1
+
+    def on_reroute(self) -> None:
+        self.reroutes += 1
+
+    def on_drop(self) -> None:
+        self.dropped_messages += 1
+
+    def on_ack(self) -> None:
+        self.ack_messages += 1
+
+    def on_unreachable(self, volume: float) -> None:
+        """A restriction region was abandoned after exhausting recovery."""
+        self.unreachable_volume += volume
+
+    def note_time(self, now: int) -> None:
+        if now > self.last_activity:
+            self.last_activity = now
+
+    def completeness(self) -> float:
+        if self.restriction_volume <= 0.0:
+            # A zero-volume restriction (point / degenerate region) offers
+            # no denominator: any loss means completely unquantified.
+            return 1.0 if self.unreachable_volume <= 0.0 else 0.0
+        fraction = 1.0 - self.unreachable_volume / self.restriction_volume
+        return max(0.0, min(1.0, fraction))
+
     def stats(self, latency: int) -> QueryStats:
         return QueryStats(
             latency=latency,
@@ -121,4 +204,11 @@ class QueryContext:
             response_messages=self.response_messages,
             answer_messages=self.answer_messages,
             tuples_shipped=self.tuples_shipped,
+            timeouts=self.timeouts,
+            retries=self.retries,
+            reroutes=self.reroutes,
+            dropped_messages=self.dropped_messages,
+            ack_messages=self.ack_messages,
+            unreachable_volume=self.unreachable_volume,
+            completeness=self.completeness(),
         )

@@ -14,6 +14,19 @@ Conventions matching Section 3.2's analysis (and the recursive engine):
 query forwards cost 1 hop; state responses and answer deliveries are
 accounted as messages but add no propagation delay (Lemma 2 counts only
 the forwards; see :mod:`repro.net.context`).
+
+Fault tolerance: constructing the simulator with a
+:class:`~repro.net.faults.FaultPlan` switches every forward to a
+*supervised attempt* (:class:`_Attempt`): the plan is consulted on every
+delivery (drops, crash windows, jitter), lost forwards are detected by
+acknowledgement timeouts and retried with exponential backoff, lost
+responses are recovered by a liveness watchdog that asks the remote peer
+to retransmit, dead link targets are routed around through alternate live
+coordinators (:func:`~repro.net.routing.route_around`), and regions that
+remain unreachable are abandoned with their volume accounted so the query
+terminates with an explicit completeness bound.  With a zero-fault plan
+the supervised execution reproduces the plain one exactly.  The entry
+point is :func:`repro.net.faults.resilient_ripple`.
 """
 
 from __future__ import annotations
@@ -21,23 +34,54 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from ..core.framework import PeerLike, SLOW
 from ..core.handler import QueryHandler
-from ..core.regions import Region
+from ..core.regions import Region, region_volume
 from .context import QueryContext, QueryResult
+from .routing import route_around
 
-__all__ = ["EventSimulator", "event_driven_ripple"]
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from .faults import FaultPlan
+
+__all__ = ["EventSimulator", "event_driven_ripple", "DEFAULT_MAX_EVENTS"]
+
+#: Default event budget: far above any legitimate query (the largest
+#: benchmark networks execute a few hundred thousand events) but low
+#: enough that a fault-induced retry storm or a scheduling bug fails
+#: fast instead of spinning forever.
+DEFAULT_MAX_EVENTS = 5_000_000
 
 
 class EventSimulator:
-    """A minimal discrete-event engine: (time, fifo) ordered callbacks."""
+    """A minimal discrete-event engine: (time, fifo) ordered callbacks.
 
-    def __init__(self) -> None:
+    ``faults`` (a :class:`~repro.net.faults.FaultPlan`) enables the
+    supervised delivery machinery; ``max_events`` caps how many events
+    :meth:`run` may execute before raising ``RuntimeError``.
+    """
+
+    def __init__(self, faults: "FaultPlan | None" = None, *,
+                 max_events: int | None = DEFAULT_MAX_EVENTS) -> None:
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self.now = 0
+        self.faults = faults
+        self.max_events = max_events
+        self._messages = itertools.count()
+        self._request_ids = itertools.count()
+        #: Supervised-request registry: request id -> [incarnation, result].
+        #: Models the remote peer remembering a request so duplicate
+        #: forwards are suppressed and completed results can be replayed.
+        self.requests: dict[int, list[Any]] = {}
+
+    def new_message_id(self) -> int:
+        """Sequence number identifying one message delivery (fault draws)."""
+        return next(self._messages)
+
+    def new_request_id(self) -> int:
+        return next(self._request_ids)
 
     def schedule(self, delay: int, action: Callable[[], None]) -> None:
         if delay < 0:
@@ -45,11 +89,24 @@ class EventSimulator:
         heapq.heappush(self._queue,
                        (self.now + delay, next(self._counter), action))
 
-    def run(self) -> int:
-        """Drain the queue; returns the time of the last event."""
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the time of the last event.
+
+        Raises ``RuntimeError`` when more than ``max_events`` (default:
+        the constructor's cap) events execute — a loud safety net against
+        retry storms and self-rescheduling bugs.
+        """
+        cap = self.max_events if max_events is None else max_events
         last = 0
+        executed = 0
         while self._queue:
             time, _, action = heapq.heappop(self._queue)
+            executed += 1
+            if cap is not None and executed > cap:
+                raise RuntimeError(
+                    f"EventSimulator exceeded its event budget of {cap}; "
+                    "likely a retry storm or a scheduling bug "
+                    "(raise max_events if the workload is legitimate)")
             self.now = last = time
             action()
         return last
@@ -60,7 +117,10 @@ class _Invocation:
     """One peer's in-flight execution of Algorithm 3 (sequential mode).
 
     Mirrors the loop of lines 4-11: examine prioritized links one at a
-    time, suspend on each forward, resume in :meth:`on_response`.
+    time, suspend on each forward, resume in :meth:`on_response`.  Under a
+    fault plan, forwards are wrapped in supervised :class:`_Attempt`
+    objects and the invocation checks its own peer's liveness before
+    resuming (crash-stop semantics: a crashed peer loses in-flight state).
     """
 
     sim: EventSimulator
@@ -75,8 +135,17 @@ class _Invocation:
     local_state: Any = None
     global_state: Any = None
     pending: list = field(default_factory=list)
+    #: How many times this subtree's lineage was already re-routed around
+    #: a failure; bounds recovery recursion (see FaultPlan.max_reroute_depth).
+    route_depth: int = 0
 
     def start(self) -> None:
+        faults = self.sim.faults
+        if faults is not None:
+            self.ctx.note_time(self.sim.now)
+            self._birth = faults.incarnation(self.peer.peer_id, self.sim.now)
+            self._gone = False
+            self._answered = False
         processes = self.ctx.begin_processing(self.peer.peer_id)
         if processes:
             self.local_state = self.handler.compute_local_state(
@@ -95,18 +164,44 @@ class _Invocation:
         else:
             self._fan_out(processes)
 
+    # -- crash-stop bookkeeping --------------------------------------------
+
+    def _dead(self) -> bool:
+        """Whether this peer crashed since the invocation started.
+
+        A crashed peer forgets its in-flight state (amnesia); if its local
+        answer never shipped, the peer is un-marked from the processed set
+        so a later retry may re-process its data.
+        """
+        faults = self.sim.faults
+        if faults is None:
+            return False
+        if self._gone:
+            return True
+        now = self.sim.now
+        if (not faults.alive(self.peer.peer_id, now)
+                or faults.incarnation(self.peer.peer_id, now) != self._birth):
+            self._gone = True
+            if self._processes and not self._answered:
+                self.ctx.processed.discard(self.peer.peer_id)
+            return True
+        return False
+
     # -- parallel mode (lines 13-17) --------------------------------------
 
     def _fan_out(self, processes: bool) -> None:
         collected: list[Any] = [self.local_state] if processes else []
         outstanding = 0
 
-        def child_done(states: list[Any]) -> None:
+        def settle() -> None:
             nonlocal outstanding
-            collected.extend(states)
             outstanding -= 1
             if outstanding == 0:
                 self._finish(collected)
+
+        def child_done(states: list[Any]) -> None:
+            collected.extend(states)
+            settle()
 
         for link in self.peer.links():
             sub = link.region.intersect(self.restriction)
@@ -115,11 +210,15 @@ class _Invocation:
             if not self.handler.is_link_relevant(sub, self.global_state):
                 continue
             outstanding += 1
-            self.ctx.on_forward()
-            child = _Invocation(self.sim, self.ctx, self.handler, link.peer,
-                                self.global_state, sub, 0,
-                                self.initiator_id, child_done)
-            self.sim.schedule(1, child.start)
+            if self.sim.faults is None:
+                self.ctx.on_forward()
+                child = _Invocation(self.sim, self.ctx, self.handler,
+                                    link.peer, self.global_state, sub, 0,
+                                    self.initiator_id, child_done)
+                self.sim.schedule(1, child.start)
+            else:
+                _Attempt(self, link.peer, sub, 0,
+                         on_states=child_done, on_give_up=settle).send()
         if outstanding == 0:
             self._finish(collected)
 
@@ -133,20 +232,34 @@ class _Invocation:
                 continue
             if not self.handler.is_link_relevant(sub, self.global_state):
                 continue
-            self.ctx.on_forward()
-            child = _Invocation(self.sim, self.ctx, self.handler, link.peer,
-                                self.global_state, sub, self.r - 1,
-                                self.initiator_id, self._on_response)
-            self.sim.schedule(1, child.start)
+            if self.sim.faults is None:
+                self.ctx.on_forward()
+                child = _Invocation(self.sim, self.ctx, self.handler,
+                                    link.peer, self.global_state, sub,
+                                    self.r - 1, self.initiator_id,
+                                    self._on_response)
+                self.sim.schedule(1, child.start)
+            else:
+                _Attempt(self, link.peer, sub, self.r - 1,
+                         on_states=self._on_response,
+                         on_give_up=self._resume_after_loss).send()
             return  # suspended until the response arrives
         self._finish([self.local_state])
 
     def _on_response(self, states: list[Any]) -> None:
+        if self.sim.faults is not None and self._dead():
+            return
         self.ctx.on_response(len(states))
         self.local_state = self.handler.update_local_state(
             [self.local_state, *states])
         self.global_state = self.handler.compute_global_state(
             self.received_state, self.local_state)
+        self._advance()
+
+    def _resume_after_loss(self) -> None:
+        """Continue past a link whose region was abandoned as unreachable."""
+        if self._dead():
+            return
         self._advance()
 
     # -- completion ----------------------------------------------------------
@@ -159,8 +272,214 @@ class _Invocation:
                 self.ctx.collected_answers.append(answer)
             else:
                 self.ctx.on_answer(answer, self.handler.answer_size(answer))
+            if self.sim.faults is not None:
+                self._answered = True
         # responses travel without propagation delay (see module doc)
         self.on_done(upstream)
+
+
+class _Attempt:
+    """One fault-supervised forward of a restriction region to a target.
+
+    Lifecycle::
+
+        send -> deliver (plan consulted: drop? target dead? jitter)
+             -> ack | ack-timeout (exponential backoff, bounded retries)
+             -> watchdog while the remote subtree runs
+                  (detects crash/amnesia; asks for retransmits of lost
+                   responses; doubling period so it never throttles)
+             -> response accepted | failure
+        failure -> re-route the region through an alternate live
+                   coordinator (route_around), bounded in depth
+                -> abandon: account the region's volume as unreachable
+
+    Duplicate forwards are suppressed through the simulator's request
+    registry; a completed remote execution replays its cached response
+    instead of re-processing (at-least-once delivery, exactly-once
+    processing per peer incarnation).
+    """
+
+    __slots__ = ("parent", "sim", "ctx", "faults", "target", "sub", "r",
+                 "route_depth", "request_id", "tries", "watchdogs", "gen",
+                 "acked", "done", "on_states", "on_give_up", "extra_delay")
+
+    def __init__(self, parent: _Invocation, target: PeerLike, sub: Region,
+                 r: int, on_states: Callable[[list[Any]], None],
+                 on_give_up: Callable[[], None],
+                 route_depth: int | None = None, extra_delay: int = 0):
+        self.parent = parent
+        self.sim = parent.sim
+        self.ctx = parent.ctx
+        self.faults = parent.sim.faults
+        self.target = target
+        self.sub = sub
+        self.r = r
+        self.route_depth = parent.route_depth if route_depth is None \
+            else route_depth
+        self.request_id = self.sim.new_request_id()
+        self.tries = 0
+        self.watchdogs = 0
+        self.gen = 0  # bumped to invalidate stale timers
+        self.acked = False
+        self.done = False
+        self.on_states = on_states
+        self.on_give_up = on_give_up
+        #: Relay hops a re-routed forward spends reaching its coordinator.
+        self.extra_delay = extra_delay
+
+    # -- forward + ack ----------------------------------------------------
+
+    def send(self) -> None:
+        self.tries += 1
+        if self.tries > 1:
+            self.ctx.on_retry()
+        self.ctx.on_forward()
+        self.acked = False
+        self.gen += 1
+        gen = self.gen
+        message = self.sim.new_message_id()
+        delay = self.extra_delay + self.faults.forward_delay(message)
+        self.sim.schedule(delay, lambda: self._deliver(message))
+        # The deadline rides on top of the actual delay so jitter can
+        # never fire a spurious timeout; backoff doubles per attempt.
+        deadline = delay + (self.faults.ack_timeout << (self.tries - 1))
+        self.sim.schedule(deadline, lambda: self._ack_timeout(gen))
+
+    def _deliver(self, message: int) -> None:
+        if self.done:
+            return  # stale retransmission of an already-settled request
+        faults = self.faults
+        if faults.drops(message):
+            self.ctx.on_drop()
+            return
+        now = self.sim.now
+        if not faults.alive(self.target.peer_id, now):
+            self.ctx.on_drop()  # swallowed by a dead peer
+            return
+        self._send_ack()
+        incarnation = faults.incarnation(self.target.peer_id, now)
+        entry = self.sim.requests.get(self.request_id)
+        if entry is not None and entry[0] == incarnation:
+            if entry[1] is not None:
+                self._respond(entry[1])  # duplicate of a completed request
+            return  # in progress: the running invocation will respond
+        self.sim.requests[self.request_id] = [incarnation, None]
+        child = _Invocation(self.sim, self.ctx, self.parent.handler,
+                            self.target, self.parent.global_state, self.sub,
+                            self.r, self.parent.initiator_id,
+                            self._child_finished,
+                            route_depth=self.route_depth)
+        child.start()
+
+    def _send_ack(self) -> None:
+        self.ctx.on_ack()
+        if self.faults.drops(self.sim.new_message_id()):
+            self.ctx.on_drop()  # lost ack: the sender will retry, we dedup
+            return
+        if self.done or self.acked or self.parent._dead():
+            return
+        self.acked = True
+        self._arm_watchdog()
+
+    def _ack_timeout(self, gen: int) -> None:
+        if self.done or self.acked or gen != self.gen:
+            return
+        if self.parent._dead():
+            return
+        self.ctx.on_timeout()
+        if self.tries <= self.faults.max_retries:
+            self.send()
+        else:
+            self._fail()
+
+    # -- liveness watchdog ------------------------------------------------
+
+    def _arm_watchdog(self) -> None:
+        gen = self.gen
+        period = self.faults.watchdog_base << min(self.watchdogs, 16)
+        self.sim.schedule(period, lambda: self._watchdog(gen))
+
+    def _watchdog(self, gen: int) -> None:
+        if self.done or gen != self.gen:
+            return
+        if self.parent._dead():
+            return
+        self.watchdogs += 1
+        if self.watchdogs > self.faults.max_watchdogs:
+            self.ctx.on_timeout()
+            self._fail()
+            return
+        faults = self.faults
+        now = self.sim.now
+        entry = self.sim.requests.get(self.request_id)
+        healthy = (faults.alive(self.target.peer_id, now)
+                   and entry is not None
+                   and entry[0] == faults.incarnation(self.target.peer_id, now))
+        if not healthy:
+            # The remote peer crashed (and possibly recovered with
+            # amnesia): the in-flight execution is gone, start over.
+            self.ctx.on_timeout()
+            if self.tries <= faults.max_retries:
+                self.send()
+            else:
+                self._fail()
+            return
+        if entry[1] is not None:
+            self._respond(entry[1])  # response was lost: retransmit
+            if self.done:
+                return
+        self._arm_watchdog()
+
+    # -- response ---------------------------------------------------------
+
+    def _child_finished(self, states: list[Any]) -> None:
+        entry = self.sim.requests.get(self.request_id)
+        if entry is not None:
+            entry[1] = list(states)
+        self._respond(states)
+
+    def _respond(self, states: list[Any]) -> None:
+        if self.done:
+            return
+        if self.faults.drops(self.sim.new_message_id()):
+            self.ctx.on_drop()  # a watchdog will ask again
+            return
+        if self.parent._dead():
+            return
+        self.done = True
+        self.gen += 1
+        self.ctx.note_time(self.sim.now)
+        self.on_states(list(states))
+
+    # -- failure ----------------------------------------------------------
+
+    def _fail(self) -> None:
+        """Retries exhausted: route around the target, else abandon."""
+        faults = self.faults
+        if self.route_depth < faults.max_reroute_depth:
+            now = self.sim.now
+            alternate, hops = route_around(
+                self.parent.peer, self.sub,
+                lambda pid: faults.alive(pid, now),
+                exclude=(self.target.peer_id,))
+            if alternate is not None:
+                self.ctx.on_reroute()
+                self.done = True
+                self.gen += 1
+                relay = _Attempt(self.parent, alternate, self.sub, self.r,
+                                 self.on_states, self.on_give_up,
+                                 route_depth=self.route_depth + 1,
+                                 extra_delay=max(0, hops - 1))
+                relay.send()
+                return
+        self._give_up()
+
+    def _give_up(self) -> None:
+        self.done = True
+        self.gen += 1
+        self.ctx.on_unreachable(region_volume(self.sub))
+        self.ctx.note_time(self.sim.now)
+        self.on_give_up()
 
 
 def event_driven_ripple(
@@ -175,7 +494,8 @@ def event_driven_ripple(
 
     Semantically identical to :func:`repro.core.framework.run_ripple`;
     latency falls out of message timestamps instead of the recursive
-    max/sum computation.
+    max/sum computation.  For execution under injected faults see
+    :func:`repro.net.faults.resilient_ripple`.
     """
     sim = EventSimulator()
     ctx = QueryContext(strict=strict)

@@ -33,12 +33,14 @@ class BatonPeer:
     __slots__ = ("peer_id", "level", "offset", "range_lo", "range_hi",
                  "span_lo", "span_hi", "parent", "left", "right",
                  "adjacent_prev", "adjacent_next", "left_table",
-                 "right_table", "store", "cached_cells")
+                 "right_table", "store", "cached_cells", "alive")
 
     def __init__(self, peer_id: int, level: int, offset: int):
         self.peer_id = peer_id
         self.level = level
         self.offset = offset
+        #: Liveness flag for fault scenarios (see FaultPlan.from_overlay).
+        self.alive = True
         self.range_lo = 0
         self.range_hi = 0
         self.span_lo = 0

@@ -55,7 +55,7 @@ class Adjacency:
 class CanPeer:
     """A CAN peer: one zone plus links to all face-adjacent zones."""
 
-    __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor",
+    __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor", "alive",
                  "_neighbors", "_links")
 
     def __init__(self, peer_id: int, overlay: "CanOverlay", leaf: Node,
@@ -65,6 +65,8 @@ class CanPeer:
         self.leaf = leaf
         self.store = LocalStore(overlay.dims)
         self.anchor = anchor
+        #: Liveness flag for fault scenarios (see FaultPlan.from_overlay).
+        self.alive = True
         self._neighbors: tuple[int, list[Adjacency]] | None = None
         self._links: tuple[int, list[Link]] | None = None
 

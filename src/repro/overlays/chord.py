@@ -34,13 +34,15 @@ __all__ = ["ChordPeer", "ChordOverlay"]
 class ChordPeer:
     """A Chord peer: a ring id, the arc up to its successor, fingers."""
 
-    __slots__ = ("peer_id", "overlay", "ring_id", "store", "_links")
+    __slots__ = ("peer_id", "overlay", "ring_id", "store", "alive", "_links")
 
     def __init__(self, peer_id: int, overlay: "ChordOverlay", ring_id: float):
         self.peer_id = peer_id
         self.overlay = overlay
         self.ring_id = ring_id
         self.store = LocalStore(1)
+        #: Liveness flag for fault scenarios (see FaultPlan.from_overlay).
+        self.alive = True
         self._links: tuple[int, list[Link]] | None = None
 
     @property

@@ -45,7 +45,8 @@ JoinPolicy = Literal["uniform", "data"]
 class MidasPeer:
     """A MIDAS peer: one leaf of the virtual k-d tree."""
 
-    __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor", "_links")
+    __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor", "alive",
+                 "_links")
 
     def __init__(self, peer_id: int, overlay: "MidasOverlay", leaf: Node,
                  anchor: Point):
@@ -54,6 +55,9 @@ class MidasPeer:
         self.leaf = leaf
         self.store = LocalStore(overlay.dims)
         self.anchor = anchor
+        #: Liveness flag for fault scenarios; FaultPlan.from_overlay freezes
+        #: these into a crash schedule.  Fault-free engines ignore it.
+        self.alive = True
         self._links: tuple[int, list[Link]] | None = None
 
     @property

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import LinearScore, MidasOverlay
-from repro.net.routing import RoutingError, greedy_route
+from repro.net.routing import RoutingError, greedy_route, route_around
 from repro.queries.drivers import run_seeded
 from repro.queries.topk import TopKHandler, topk_reference
 
@@ -61,8 +61,97 @@ class TestGreedyRoute:
         everywhere = RectRegion(Rect.unit(2))
         a.link = Link(peer=b, region=everywhere)
         b.link = Link(peer=a, region=everywhere)
-        with pytest.raises(RoutingError):
+        with pytest.raises(RoutingError, match="loop"):
             greedy_route(a, (0.5, 0.5))
+
+    def test_no_convergence_raises(self):
+        """An endless chain of fresh peers trips the hop budget, not a
+        loop: every hop visits a brand-new peer so ``seen`` never fires."""
+        from repro.core.framework import Link
+        from repro.core.regions import RectRegion
+        from repro.common.geometry import Rect
+
+        everywhere = RectRegion(Rect.unit(2))
+
+        class ChainPeer:
+            counter = 0
+
+            def __init__(self):
+                ChainPeer.counter += 1
+                self.peer_id = ChainPeer.counter
+
+            def links(self):
+                return [Link(peer=ChainPeer(), region=everywhere)]
+
+        with pytest.raises(RoutingError, match="no convergence"):
+            greedy_route(ChainPeer(), (0.5, 0.5), max_hops=50)
+
+    def test_max_hops_generous_enough_for_real_overlays(self, network):
+        """The default budget never truncates a legitimate MIDAS route."""
+        overlay, _ = network
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            owner, _ = greedy_route(overlay.random_peer(rng),
+                                    tuple(rng.random(2)),
+                                    max_hops=len(overlay.peers()))
+            assert owner.zone.contains  # reached without RoutingError
+
+
+class TestRouteAround:
+    def test_finds_live_coordinator(self, network):
+        """With everything alive, a neighbor coordinating any region is one
+        hop away."""
+        overlay, _ = network
+        peer = overlay.peers()[0]
+        target_region = peer.links()[0].region
+        found, hops = route_around(peer, target_region, lambda pid: True)
+        assert found is not None and found is not peer
+        assert hops >= 1
+        assert any(ln.region.intersect(target_region) is not None
+                   for ln in found.links())
+
+    def test_excluded_peer_is_skipped(self, network):
+        overlay, _ = network
+        peer = overlay.peers()[0]
+        region = peer.links()[0].region
+        first, _ = route_around(peer, region, lambda pid: True)
+        second, _ = route_around(peer, region, lambda pid: True,
+                                 exclude=(first.peer_id,))
+        assert second is not None
+        assert second.peer_id != first.peer_id
+
+    def test_dead_links_are_not_traversed(self, network):
+        """Killing every neighbor of the start isolates it: no coordinator
+        is reachable."""
+        overlay, _ = network
+        peer = overlay.peers()[0]
+        dead = {ln.peer.peer_id for ln in peer.links()}
+        region = peer.links()[0].region
+        found, hops = route_around(peer, region,
+                                   lambda pid: pid not in dead)
+        assert found is None and hops == 0
+
+    def test_routes_around_a_dead_peer(self, network):
+        """With one neighbor dead, the search still reaches a coordinator
+        for that neighbor's region through the remaining live links."""
+        overlay, _ = network
+        peer = overlay.peers()[0]
+        victim = peer.links()[0].peer
+        region = peer.links()[0].region
+        found, hops = route_around(peer, region,
+                                   lambda pid: pid != victim.peer_id,
+                                   exclude=(victim.peer_id,))
+        assert found is not None
+        assert found.peer_id != victim.peer_id
+        assert any(ln.region.intersect(region) is not None
+                   for ln in found.links())
+
+    def test_max_peers_budget(self, network):
+        overlay, _ = network
+        peer = overlay.peers()[0]
+        region = peer.links()[-1].region
+        found, _ = route_around(peer, region, lambda pid: True, max_peers=1)
+        assert found is None  # budget spent on the start peer itself
 
 
 class TestSeededDriver:
