@@ -4,11 +4,22 @@ Each peer of a DHT stores the tuples whose keys fall inside its zone.  The
 store keeps them in a single ``(m, d)`` NumPy array so local scans (top-k,
 skyline seeds, best-phi) are vectorized, while everything that crosses the
 simulated network remains plain tuples (see :mod:`repro.common.geometry`).
+
+Beyond raw storage the store is also the *per-peer computation cache*: a
+rank query makes a peer reduce its local array more than once (the local
+state and the local answer both derive from the same reduction), and
+benchmark sweeps issue many queries against an unchanging network.  Both
+reuse patterns are served by :meth:`LocalStore.cached`, a version-keyed
+memo table: every mutation bumps :attr:`LocalStore.version` and drops all
+cached entries, so a cached value is always consistent with the live
+array.  The built-in :meth:`top_scoring` / :meth:`scoring_at_least` scans
+share one cached *score index* (scores plus descending sort order) per
+scoring function.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence, TypeVar
 
 import numpy as np
 
@@ -19,6 +30,15 @@ __all__ = ["LocalStore"]
 
 _GROWTH = 1.6
 
+#: Entries kept per store before the memo table is wiped wholesale.  The
+#: cap bounds memory on static networks serving many distinct queries
+#: (each scoring function / handler is its own key); it is far above what
+#: a single query needs, so the per-query double-work elimination is never
+#: affected.
+_CACHE_CAP = 64
+
+_T = TypeVar("_T")
+
 
 class LocalStore:
     """A grow-only columnar buffer of d-dimensional tuples.
@@ -28,12 +48,20 @@ class LocalStore:
     zone splits or merges (:meth:`extract`, :meth:`take_all`).
     """
 
+    #: Class-wide switch for the computation cache; benchmark harnesses
+    #: flip it off to measure the uncached (pre-cache) behaviour.
+    cache_enabled: bool = True
+
     def __init__(self, dims: int, points: Iterable[Sequence[float]] = ()):
         if dims <= 0:
             raise ValueError("dims must be positive")
         self.dims = dims
         self._buf = np.empty((8, dims), dtype=float)
         self._size = 0
+        self._version = 0
+        self._cache: dict[Hashable, Any] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         for point in points:
             self.insert(point)
 
@@ -58,6 +86,59 @@ class LocalStore:
         buf[: self._size] = self._buf[: self._size]
         self._buf = buf
 
+    # -- computation cache --------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter.
+
+        Bumped by every mutation (:meth:`insert`, :meth:`bulk_load`,
+        :meth:`extract`, :meth:`take_all`); cached results are valid for
+        exactly one version.
+        """
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        if self._cache:
+            self._cache.clear()
+
+    def cached(self, key: Hashable, compute: Callable[[], _T]) -> _T:
+        """Memoize ``compute()`` against the current store version.
+
+        ``key`` identifies the computation (e.g. a query constraint or a
+        scoring function); the entry is dropped as soon as the store
+        mutates, so callers never observe stale results.  Cached values
+        are shared — treat them as immutable.
+        """
+        if not self.cache_enabled:
+            return compute()
+        try:
+            value = self._cache[key]
+        except KeyError:
+            self.cache_misses += 1
+            if len(self._cache) >= _CACHE_CAP:
+                self._cache.clear()
+            value = self._cache[key] = compute()
+        else:
+            self.cache_hits += 1
+        return value
+
+    def _score_index(self, fn: ScoringFunction
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(scores, order, sorted_desc)`` for ``fn``, cached per version.
+
+        ``order`` is the stable descending argsort of ``scores`` (ties
+        keep insertion order) and ``sorted_desc = scores[order]``, which
+        turns every threshold scan into a binary search over a prefix.
+        """
+        def compute():
+            scores = fn.score_batch(self.array)
+            order = np.argsort(-scores, kind="stable")
+            return scores, order, scores[order]
+
+        return self.cached(("score-index", fn), compute)
+
     # -- mutation -----------------------------------------------------------
 
     def insert(self, point: Sequence[float]) -> None:
@@ -66,6 +147,7 @@ class LocalStore:
         self._reserve(1)
         self._buf[self._size] = point
         self._size += 1
+        self._invalidate()
 
     def bulk_load(self, array: np.ndarray) -> None:
         array = np.asarray(array, dtype=float)
@@ -74,6 +156,7 @@ class LocalStore:
         self._reserve(len(array))
         self._buf[self._size : self._size + len(array)] = array
         self._size += len(array)
+        self._invalidate()
 
     def extract(self, rect: Rect) -> np.ndarray:
         """Remove and return all tuples inside ``rect`` (half-open).
@@ -87,12 +170,14 @@ class LocalStore:
         kept = live[~inside]
         self._buf[: len(kept)] = kept
         self._size = len(kept)
+        self._invalidate()
         return moved
 
     def take_all(self) -> np.ndarray:
         """Remove and return every tuple (zone merge on peer departure)."""
         out = self._buf[: self._size].copy()
         self._size = 0
+        self._invalidate()
         return out
 
     # -- scans --------------------------------------------------------------
@@ -111,20 +196,24 @@ class LocalStore:
         """Up to ``limit`` best local tuples with score >= ``above``.
 
         Returns ``(score, tuple)`` pairs in descending score order — the
-        local retrieval primitive of Algorithm 4.
+        local retrieval primitive of Algorithm 4.  Backed by the cached
+        score index, so repeated scans under the same scoring function
+        (local state *and* local answer of one query, or many queries of a
+        sweep) reduce the array exactly once per store version.
         """
         if self._size == 0 or limit <= 0:
             return []
-        scores = fn.score_batch(self.array)
-        eligible = np.flatnonzero(scores >= above)
-        if len(eligible) == 0:
+        scores, order, sorted_desc = self._score_index(fn)
+        # Entries scoring >= above form a prefix of the descending order.
+        cut = int(np.searchsorted(-sorted_desc, -above, side="right"))
+        if cut == 0:
             return []
-        order = eligible[np.argsort(-scores[eligible], kind="stable")][:limit]
-        return [(float(scores[i]), as_point(self._buf[i])) for i in order]
+        return [(float(scores[i]), as_point(self._buf[i]))
+                for i in order[: min(cut, limit)]]
 
     def scoring_at_least(self, fn: ScoringFunction, tau: float) -> list[Point]:
         """Every local tuple with score >= ``tau`` (Algorithm 6)."""
         if self._size == 0:
             return []
-        scores = fn.score_batch(self.array)
+        scores, _, _ = self._score_index(fn)
         return [as_point(self._buf[i]) for i in np.flatnonzero(scores >= tau)]

@@ -1,9 +1,17 @@
 """The RIPPLE query-processing templates (Algorithms 1–3).
 
-One recursive routine, :func:`_process`, implements Algorithm 3 faithfully;
-``fast`` (Algorithm 1) and ``slow`` (Algorithm 2) are its ``r = 0`` and
+One routine, :func:`_process`, implements Algorithm 3 faithfully; ``fast``
+(Algorithm 1) and ``slow`` (Algorithm 2) are its ``r = 0`` and
 ``r = infinity`` degenerations, exposed as :func:`run_fast`,
 :func:`run_slow` and :func:`run_ripple`.
+
+``_process`` evaluates the depth-first traversal with an explicit work
+stack of :class:`_Frame` records rather than native recursion, so a
+sequential (``r = SLOW``) pass across a chain-shaped overlay — whose
+depth equals the network size — neither overflows the interpreter stack
+nor requires mutating the global recursion limit.  The evaluation order
+(and therefore every statistic) is identical to the recursive
+formulation.
 
 The framework is overlay-agnostic: a peer is anything satisfying
 :class:`PeerLike` — an id, a :class:`~repro.common.store.LocalStore`, and a
@@ -34,8 +42,6 @@ __all__ = ["Link", "PeerLike", "run_fast", "run_slow", "run_ripple", "SLOW"]
 #: Ripple parameter value that never runs out: every peer uses the
 #: sequential loop, i.e. Algorithm 2.  (Any r > maximum link count works.)
 SLOW = sys.maxsize
-
-_MIN_RECURSION_LIMIT = 20_000
 
 
 @dataclass(frozen=True)
@@ -102,8 +108,6 @@ def execute(
     """
     if r < 0:
         raise ValueError(f"ripple parameter must be non-negative, got {r}")
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
     state = handler.initial_state() if initial_state is None else initial_state
     initiator_id = initiator.peer_id if answers_to is None else answers_to
     _, latency = _process(ctx, handler, initiator, state,
@@ -127,6 +131,100 @@ def run_slow(initiator: PeerLike, handler: QueryHandler, *,
                       restriction=restriction, strict=strict)
 
 
+class _Frame:
+    """One peer's suspended execution of Algorithm 3 on the work stack.
+
+    A frame is created when the query reaches a peer, advances one link at
+    a time (pushing a child frame per relevant link), and completes when
+    its link list is exhausted — at which point its local answer ships and
+    its upstream states flow into the parent frame.  Sequential frames
+    (``r > 0``) fold each child response into their state before examining
+    the next link (Alg. 3, lines 4-11); parallel frames (``r = 0``) keep
+    the state they fanned out with and simply accumulate subtree states
+    for the nearest sequential ancestor (lines 13-17 == Alg. 1).
+    """
+
+    __slots__ = ("peer", "received_state", "restriction", "r", "top_level",
+                 "processes", "local_state", "gstate", "links", "index",
+                 "latency", "upstream")
+
+    def __init__(self, ctx: QueryContext, handler: QueryHandler,
+                 peer: PeerLike, received_state: Any, restriction: Region,
+                 r: int, top_level: bool = False):
+        self.peer = peer
+        self.received_state = received_state
+        self.restriction = restriction
+        self.r = r
+        self.top_level = top_level
+        self.index = 0
+        self.latency = 0
+        self.processes = ctx.begin_processing(peer.peer_id)
+        if self.processes:
+            self.local_state = handler.compute_local_state(
+                peer.store, received_state)
+        else:
+            self.local_state = handler.neutral_local_state()
+        self.gstate = handler.compute_global_state(received_state,
+                                                   self.local_state)
+        if r > 0:
+            self.links = sorted(
+                peer.links(),
+                key=lambda ln: handler.link_priority(ln.region))
+            self.upstream: list[Any] | None = None
+        else:
+            self.links = list(peer.links())
+            self.upstream = [self.local_state] if self.processes else []
+
+    def next_child(self, ctx: QueryContext,
+                   handler: QueryHandler) -> "_Frame | None":
+        """The frame for the next relevant link, or None when exhausted."""
+        while self.index < len(self.links):
+            link = self.links[self.index]
+            self.index += 1
+            sub = link.region.intersect(self.restriction)
+            if sub is None:
+                continue
+            if not handler.is_link_relevant(sub, self.gstate):
+                continue
+            ctx.on_forward()
+            return _Frame(ctx, handler, link.peer, self.gstate, sub,
+                          self.r - 1 if self.r > 0 else 0)
+        return None
+
+    def receive(self, ctx: QueryContext, handler: QueryHandler,
+                child_states: list[Any], child_latency: int) -> None:
+        """Fold a completed child subtree into this frame."""
+        if self.r > 0:
+            ctx.on_response(len(child_states))
+            self.latency += 1 + child_latency
+            self.local_state = handler.update_local_state(
+                [self.local_state, *child_states])
+            self.gstate = handler.compute_global_state(self.received_state,
+                                                       self.local_state)
+        else:
+            self.latency = max(self.latency, 1 + child_latency)
+            self.upstream.extend(child_states)
+
+    def finish(self, ctx: QueryContext, handler: QueryHandler,
+               initiator_id: Hashable) -> tuple[list[Any], int]:
+        """Ship the local answer; return the states reported upstream."""
+        if self.processes:
+            answer = handler.compute_local_answer(self.peer.store,
+                                                  self.local_state)
+            if self.peer.peer_id == initiator_id:
+                # The initiator's own qualifying tuples never cross the
+                # network.
+                ctx.collected_answers.append(answer)
+            else:
+                ctx.on_answer(answer, handler.answer_size(answer))
+        if self.r > 0:
+            upstream = [self.local_state] \
+                if self.processes or not self.top_level else []
+        else:
+            upstream = self.upstream
+        return upstream, self.latency
+
+
 def _process(
     ctx: QueryContext,
     handler: QueryHandler,
@@ -138,68 +236,24 @@ def _process(
     initiator_id: Hashable,
     top_level: bool = False,
 ) -> tuple[list[Any], int]:
-    """One peer's execution of Algorithm 3.
+    """Algorithm 3, evaluated depth-first over an explicit work stack.
 
-    Returns the local states this peer contributes upstream — a single
+    Returns the local states the root peer contributes upstream — a single
     merged state in sequential mode, or every subtree state in parallel
     mode (the paper has fast-mode peers report directly to their nearest
     ``r = 1`` ancestor) — together with the critical-path latency of the
-    subtree rooted here.
+    subtree rooted at ``peer``.
     """
-    processes = ctx.begin_processing(peer.peer_id)
-    if processes:
-        local_state = handler.compute_local_state(peer.store, global_state)
-    else:
-        local_state = handler.neutral_local_state()
-    gstate = handler.compute_global_state(global_state, local_state)
-
-    if r > 0:
-        # Sequential, prioritized forwarding: fold every response back into
-        # the local state before deciding on the next link (Alg. 3, 4-11).
-        latency = 0
-        links = sorted(peer.links(),
-                       key=lambda ln: handler.link_priority(ln.region))
-        for link in links:
-            sub = link.region.intersect(restriction)
-            if sub is None:
-                continue
-            if not handler.is_link_relevant(sub, gstate):
-                continue
-            ctx.on_forward()
-            child_states, child_latency = _process(
-                ctx, handler, link.peer, gstate, sub, r - 1,
-                initiator_id=initiator_id)
-            ctx.on_response(len(child_states))
-            latency += 1 + child_latency
-            local_state = handler.update_local_state(
-                [local_state, *child_states])
-            gstate = handler.compute_global_state(global_state, local_state)
-        upstream = [local_state] if processes or not top_level else []
-    else:
-        # Parallel forwarding: every relevant link at once, latency is the
-        # slowest branch (Alg. 3, 13-17 == Alg. 1).  Subtree states flow
-        # straight back to the nearest sequential ancestor.
-        latency = 0
-        upstream = [local_state] if processes else []
-        for link in peer.links():
-            sub = link.region.intersect(restriction)
-            if sub is None:
-                continue
-            if not handler.is_link_relevant(sub, gstate):
-                continue
-            ctx.on_forward()
-            child_states, child_latency = _process(
-                ctx, handler, link.peer, gstate, sub, 0,
-                initiator_id=initiator_id)
-            latency = max(latency, 1 + child_latency)
-            upstream.extend(child_states)
-
-    if processes:
-        answer = handler.compute_local_answer(peer.store, local_state)
-        size = handler.answer_size(answer)
-        if peer.peer_id == initiator_id:
-            # The initiator's own qualifying tuples never cross the network.
-            ctx.collected_answers.append(answer)
-        else:
-            ctx.on_answer(answer, size)
-    return upstream, latency
+    stack = [_Frame(ctx, handler, peer, global_state, restriction, r,
+                    top_level)]
+    while True:
+        frame = stack[-1]
+        child = frame.next_child(ctx, handler)
+        if child is not None:
+            stack.append(child)
+            continue
+        stack.pop()
+        upstream, latency = frame.finish(ctx, handler, initiator_id)
+        if not stack:
+            return upstream, latency
+        stack[-1].receive(ctx, handler, upstream, latency)

@@ -27,6 +27,12 @@ remain unreachable are abandoned with their volume accounted so the query
 terminates with an explicit completeness bound.  With a zero-fault plan
 the supervised execution reproduces the plain one exactly.  The entry
 point is :func:`repro.net.faults.resilient_ripple`.
+
+Both the plain and the supervised paths invoke the query handlers, which
+back their per-peer reductions with the
+:class:`~repro.common.store.LocalStore` computation cache — so a retried
+or re-routed forward that re-processes a peer reuses the already-computed
+local skyline / score index instead of reducing the array again.
 """
 
 from __future__ import annotations
@@ -135,6 +141,9 @@ class _Invocation:
     local_state: Any = None
     global_state: Any = None
     pending: list = field(default_factory=list)
+    #: Cursor into :attr:`pending`; advancing an index is O(1) per link
+    #: where popping the list head would shift the whole tail.
+    pending_index: int = 0
     #: How many times this subtree's lineage was already re-routed around
     #: a failure; bounds recovery recursion (see FaultPlan.max_reroute_depth).
     route_depth: int = 0
@@ -225,8 +234,9 @@ class _Invocation:
     # -- sequential mode (lines 4-11) --------------------------------------
 
     def _advance(self) -> None:
-        while self.pending:
-            link = self.pending.pop(0)
+        while self.pending_index < len(self.pending):
+            link = self.pending[self.pending_index]
+            self.pending_index += 1
             sub = link.region.intersect(self.restriction)
             if sub is None:
                 continue

@@ -247,6 +247,18 @@ class SingleDiversificationHandler(QueryHandler):
         self.grow = grow
 
     def _best_key(self, store: LocalStore) -> DivKey | None:
+        """The peer's best candidate key, cached on the store.
+
+        Both the local state (Algorithm 16) and the local answer
+        (Algorithm 18) need the same ``getMostDiverseLocalObject`` scan;
+        the store memoizes it per handler instance (one handler = one
+        single-tuple sub-query) and store version, halving the per-peer
+        work of every sub-query.
+        """
+        return store.cached(("div-best", self),
+                            lambda: self._compute_best_key(store))
+
+    def _compute_best_key(self, store: LocalStore) -> DivKey | None:
         best = self.objective.best_local(store, self.members, self.exclude,
                                          self.grow)
         if best is None:

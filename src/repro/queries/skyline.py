@@ -9,6 +9,15 @@ Pruning (Algorithm 14): a link is irrelevant when some already-known tuple
 dominates its entire region.  Prioritization (Algorithm 15): regions
 closer to the origin first, because tuples near the origin dominate the
 most.
+
+Kernel design (see docs/ALGORITHMS.md, "Kernel complexity & caching"):
+the array kernels are sort-first and block-vectorized — candidates are
+processed in chunks tested against the surviving skyline in one NumPy
+dominance reduction, and survivors land in a preallocated buffer instead
+of being re-copied per insertion.  The per-peer local skyline is cached
+on the :class:`~repro.common.store.LocalStore` (keyed by constraint,
+invalidated by store version), so one query reduces each peer's array at
+most once and repeated queries over a static network not at all.
 """
 
 from __future__ import annotations
@@ -25,12 +34,18 @@ from ..core.regions import Region
 __all__ = [
     "skyline_of",
     "skyline_of_array",
+    "k_skyband_of_array",
     "merge_skylines",
     "skyline_reference",
     "SkylineHandler",
 ]
 
 SkylineState = tuple[Point, ...]
+
+#: Candidate rows folded into the survivor set per vectorized dominance
+#: test.  Large enough to amortize NumPy call overhead, small enough that
+#: the (block, survivors, dims) comparison tensor stays cache-friendly.
+_BLOCK = 256
 
 
 def skyline_of(points: Iterable[Point]) -> list[Point]:
@@ -47,32 +62,81 @@ def skyline_of(points: Iterable[Point]) -> list[Point]:
     return kept
 
 
+def _dominance_order(array: np.ndarray) -> np.ndarray:
+    """A permutation placing every dominator before the points it dominates.
+
+    Sorting by the coordinate sum almost ensures that, but floating
+    addition can collapse distinct sums (a + tiny == a), so ties break
+    lexicographically — a dominator is componentwise <= its victim, so it
+    also precedes it lexicographically.
+    """
+    sums = array.sum(axis=1)
+    keys = tuple(array[:, dim] for dim in range(array.shape[1] - 1, -1, -1))
+    return np.lexsort(keys + (sums,))
+
+
 def skyline_of_array(array: np.ndarray) -> np.ndarray:
-    """Vectorized skyline of an ``(m, d)`` array (lower is better)."""
+    """Vectorized skyline of an ``(m, d)`` array (lower is better).
+
+    Sort-first, block-filtered: candidates arrive in dominance order and
+    each block is cleared against the surviving skyline in one vectorized
+    dominance reduction, with survivors accumulating in a preallocated
+    index buffer — O(m) bookkeeping total instead of the O(s^2) copying an
+    incrementally re-stacked survivor matrix costs.  Exact duplicates are
+    collapsed up front (and re-expanded at the end), which turns the
+    dominance test into a single componentwise ``<=`` reduction: among
+    distinct rows, ``all(a <= b)`` already implies strict improvement
+    somewhere, so the separate ``<`` tensor of the textbook test vanishes.
+    """
     array = np.asarray(array, dtype=float)
     if len(array) == 0:
         return array
-    # Dominators must precede the points they dominate.  Sorting by the
-    # coordinate sum almost ensures that, but floating addition can
-    # collapse distinct sums (a + tiny == a), so break ties
-    # lexicographically — a dominator is componentwise <= its victim, so
-    # it also precedes it lexicographically.
-    sums = array.sum(axis=1)
-    keys = tuple(array[:, dim] for dim in range(array.shape[1] - 1, -1, -1))
-    order = np.lexsort(keys + (sums,))
-    data = array[order]
-    kept_rows: list[np.ndarray] = []
-    kept_matrix = np.empty((0, array.shape[1]))
-    for row in data:
-        if len(kept_rows):
-            not_worse = np.all(kept_matrix <= row, axis=1)
-            strictly = np.any(kept_matrix < row, axis=1)
-            if np.any(not_worse & strictly):
-                continue
-        kept_rows.append(row)
-        kept_matrix = np.vstack([kept_matrix, row]) if len(kept_rows) > 1 \
-            else row[None, :]
-    return np.array(kept_rows)
+    data = array[_dominance_order(array)]
+    # Collapse exact duplicates (adjacent after sorting): `counts` re-expands
+    # surviving rows at the end, preserving the duplicate-keeping semantics.
+    distinct = np.empty(len(data), dtype=bool)
+    distinct[0] = True
+    np.any(data[1:] != data[:-1], axis=1, out=distinct[1:])
+    if distinct.all():
+        uniq, counts = data, None
+    else:
+        starts = np.flatnonzero(distinct)
+        counts = np.diff(np.append(starts, len(data)))
+        uniq = data[starts]
+    n = len(uniq)
+    kept = np.empty(n, dtype=np.intp)
+    count = 0
+    live = np.arange(n)
+    while len(live):
+        # The head of the live queue was not eliminated by any confirmed
+        # skyline point, and sorting put every potential dominator first —
+        # so after one pairwise pass within the block, its survivors are
+        # confirmed skyline members.  (Transitivity makes rows that are
+        # themselves dominated valid witnesses, so no iteration is needed;
+        # each row trivially satisfies <= with itself, hence `> 1`.)
+        index = live[:_BLOCK]
+        tail = live[_BLOCK:]
+        block = uniq[index]
+        if len(block) > 1:
+            le = (block[:, None, :] <= block[None, :, :]).all(2)
+            alive = le.sum(axis=0) <= 1
+            block, index = block[alive], index[alive]
+        kept[count : count + len(index)] = index
+        count += len(index)
+        # Prune the tail against the new skyline points: a dominated row
+        # is dropped the first time a dominator confirms, so it is never
+        # compared again — the practical win over re-testing every
+        # candidate against the full survivor set.
+        if len(tail) and len(block):
+            rest = uniq[tail]
+            dominated = (block[None, :, :] <= rest[:, None, :]).all(2).any(1)
+            live = tail[~dominated]
+        else:
+            live = tail
+    kept = kept[:count]
+    if counts is None:
+        return uniq[kept].copy()
+    return np.repeat(uniq[kept], counts[kept], axis=0)
 
 
 def k_skyband_of_array(array: np.ndarray, k: int, *,
@@ -82,7 +146,9 @@ def k_skyband_of_array(array: np.ndarray, k: int, *,
     The 1-skyband is the skyline.  The *max-oriented* k-skyband (higher
     values dominate) contains the top-k answer of every monotone
     increasing scoring function — the property SPEERTO's precomputation
-    rests on (Section 2.1).
+    rests on (Section 2.1).  Dominance counts are computed block-wise
+    (one ``(block, m, d)`` comparison tensor per chunk), keeping the
+    all-pairs scan vectorized at bounded memory.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -90,39 +156,73 @@ def k_skyband_of_array(array: np.ndarray, k: int, *,
     if len(array) == 0:
         return array
     data = -array if maximize else array
-    keep = []
-    for i, row in enumerate(data):
-        not_worse = np.all(data <= row, axis=1)
-        strictly = np.any(data < row, axis=1)
-        if int((not_worse & strictly).sum()) < k:
-            keep.append(i)
-    return array[keep]
+    # Dominance counts only depend on the row's value, so compute them per
+    # distinct row, weighting each candidate dominator by its multiplicity:
+    # #dominators(u) = sum_{v <= u} count(v) - count(u), the subtraction
+    # removing u itself and its exact duplicates (componentwise <= but not
+    # strictly better anywhere).
+    uniq, inverse, counts = np.unique(data, axis=0, return_inverse=True,
+                                      return_counts=True)
+    weights = counts.astype(np.int64)
+    dominators = np.empty(len(uniq), dtype=np.int64)
+    for start in range(0, len(uniq), _BLOCK):
+        stop = min(start + _BLOCK, len(uniq))
+        block = uniq[start:stop]
+        # np.unique sorts rows lexicographically, and a dominator of a
+        # distinct row is lexicographically smaller — so only the prefix
+        # up to the block's end can contain dominators, halving the
+        # all-pairs tensor on average.
+        le = (uniq[None, :stop, :] <= block[:, None, :]).all(axis=2)
+        dominators[start:stop] = le @ weights[:stop]
+    dominators -= weights
+    return array[(dominators < k)[inverse]]
 
 
-def merge_skylines(first: Sequence[Point], second: Sequence[Point]
-                   ) -> list[Point]:
-    """Skyline of the union of two sets that are each already skylines.
+def merge_skylines(*collections: Sequence[Point]) -> list[Point]:
+    """Skyline of the union of point collections, each an antichain.
 
-    The all-pairs dominance test vectorizes across the two sides, which
-    is what makes simulating skyline queries over hundreds of peers cheap
-    (each peer merges already-reduced states, never raw collections).
+    Accepts any number of collections (every caller's inputs are already
+    individually dominance-free: local skylines and previously merged
+    states), so a peer folding the states of all its children pays one
+    vectorized union-skyline instead of a chain of pairwise merges.
+
+    Because each input is an antichain, dominance can only occur *across*
+    collections, and among deduplicated rows componentwise ``<=`` already
+    implies strict dominance.  When the cross-collection comparison work
+    is well below the all-pairs work of a union reduction — the common
+    per-hop shape of one large global state against one small local
+    skyline — each collection is tested directly against the others and
+    the surviving tuples pass through without an ndarray round-trip.
+    Otherwise (many similar-sized parts) one union-skyline kernel call
+    wins and handles the general case.
     """
-    first = [p for p in dict.fromkeys(first)]
-    second = [p for p in dict.fromkeys(second) if p not in set(first)]
-    if not first or not second:
-        return sorted([*first, *second])
-    a = np.asarray(first, dtype=float)
-    b = np.asarray(second, dtype=float)
-    # dominated[i, j] == True iff a[i] dominates b[j]
-    le = a[:, None, :] <= b[None, :, :]
-    lt = a[:, None, :] < b[None, :, :]
-    a_dominates_b = le.all(axis=2) & lt.any(axis=2)
-    b_dominates_a = (b[:, None, :] <= a[None, :, :]).all(axis=2) \
-        & (b[:, None, :] < a[None, :, :]).any(axis=2)
-    keep_a = ~b_dominates_a.any(axis=0)
-    keep_b = ~a_dominates_b.any(axis=0)
-    return sorted([p for p, k in zip(first, keep_a) if k]
-                  + [p for p, k in zip(second, keep_b) if k])
+    seen: set[Point] = set()
+    groups: list[list[Point]] = []
+    for collection in collections:
+        fresh = []
+        for point in collection:
+            if point not in seen:
+                seen.add(point)
+                fresh.append(point)
+        if fresh:
+            groups.append(fresh)
+    total = len(seen)
+    if total <= 1 or len(groups) == 1:
+        return sorted(seen)
+    cross = sum(len(group) * (total - len(group)) for group in groups)
+    if 3 * cross >= total * total:
+        union = [point for group in groups for point in group]
+        survivors = skyline_of_array(np.asarray(union, dtype=float))
+        return sorted(as_point(row) for row in survivors)
+    arrays = [np.asarray(group, dtype=float) for group in groups]
+    kept: list[Point] = []
+    for i, (group, block) in enumerate(zip(groups, arrays)):
+        rest = [other for j, other in enumerate(arrays) if j != i]
+        other = rest[0] if len(rest) == 1 else np.concatenate(rest)
+        dominated = (other[None, :, :] <= block[:, None, :]).all(2).any(1)
+        kept.extend(point for point, dead in zip(group, dominated)
+                    if not dead)
+    return sorted(kept)
 
 
 def skyline_reference(array: np.ndarray,
@@ -199,13 +299,24 @@ class SkylineHandler(QueryHandler):
 
     # -- local skylines -----------------------------------------------------
 
-    def _local_skyline(self, store: LocalStore) -> list[Point]:
+    def _local_skyline(self, store: LocalStore) -> SkylineState:
+        """The peer's local (constrained) skyline, cached on the store.
+
+        Both the local state (Algorithm 10) and the local answer
+        (Algorithm 12) need this reduction; the store memoizes it per
+        constraint and store version, so each peer runs the kernel at most
+        once per query — and not at all on re-queries of a static network.
+        """
+        return store.cached(("local-skyline", self.constraint),
+                            lambda: self._compute_local_skyline(store))
+
+    def _compute_local_skyline(self, store: LocalStore) -> SkylineState:
         array = store.array
         if self.constraint is not None and len(array):
             inside = np.all((array >= self.constraint.lo)
                             & (array < self.constraint.hi), axis=1)
             array = array[inside]
-        return [as_point(row) for row in skyline_of_array(array)]
+        return tuple(as_point(row) for row in skyline_of_array(array))
 
     # -- states (Algorithms 10, 11, 13) -------------------------------------
 
@@ -226,10 +337,7 @@ class SkylineHandler(QueryHandler):
 
     def update_local_state(self, states: Sequence[SkylineState]) -> SkylineState:
         """Algorithm 13: skyline of the union of the received states."""
-        merged: Sequence[Point] = ()
-        for state in states:
-            merged = merge_skylines(merged, state)
-        return tuple(merged)
+        return tuple(merge_skylines(*states))
 
     # -- answers (Algorithm 12) ----------------------------------------------
 

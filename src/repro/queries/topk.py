@@ -100,7 +100,13 @@ class TopKHandler(QueryHandler):
 
     def compute_local_state(self, store: LocalStore,
                             global_state: TopKState) -> TopKState:
-        """Algorithm 4: the best local scores that can still matter."""
+        """Algorithm 4: the best local scores that can still matter.
+
+        ``top_scoring`` rides on the store's cached per-``fn`` score
+        index, so this scan and the answer scan of Algorithm 6 score the
+        peer's array once per query (and once across an entire sweep of
+        queries on a static network).
+        """
         cutoff = self.tau(global_state)
         retrieved = store.top_scoring(self.fn, self.k, above=cutoff)
         return TopKState(tuple(score for score, _ in retrieved), cutoff)

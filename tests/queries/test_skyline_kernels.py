@@ -1,0 +1,192 @@
+"""The vectorized skyline kernels: brute-force oracles and caching.
+
+Covers the k-skyband kernel against a literal dominance-counting oracle,
+the antichain merge against a union-skyline oracle, and the regression
+guarantee the store cache provides: one local-skyline reduction per peer
+per query, none on a repeat query over a static network.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.queries.skyline as sky
+from repro.common.geometry import as_point, dominates
+from repro.common.store import LocalStore
+from repro.overlays.midas import MidasOverlay
+from repro.queries.skyline import (SkylineHandler, distributed_skyline,
+                                   k_skyband_of_array, merge_skylines,
+                                   skyline_of, skyline_of_array,
+                                   skyline_reference)
+
+
+def brute_force_skyband(array, k, *, maximize=False):
+    """Literal definition: fewer than k strict dominators."""
+    data = -np.asarray(array, dtype=float) if maximize else \
+        np.asarray(array, dtype=float)
+    keep = []
+    for i, row in enumerate(data):
+        dominators = sum(
+            1 for other in data
+            if np.all(other <= row) and np.any(other < row))
+        if dominators < k:
+            keep.append(i)
+    return np.asarray(array, dtype=float)[keep]
+
+
+class TestKSkyband:
+    def test_exported(self):
+        assert "k_skyband_of_array" in sky.__all__
+
+    def test_one_skyband_is_skyline(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((300, 3))
+        band = k_skyband_of_array(data, 1)
+        assert sorted(map(as_point, band)) == sorted(
+            map(as_point, skyline_of_array(data)))
+
+    @pytest.mark.parametrize("dims", (1, 2, 4))
+    @pytest.mark.parametrize("k", (1, 2, 5))
+    def test_matches_brute_force(self, dims, k):
+        rng = np.random.default_rng(dims * 10 + k)
+        data = rng.random((120, dims))
+        assert np.array_equal(k_skyband_of_array(data, k),
+                              brute_force_skyband(data, k))
+
+    def test_maximize_matches_brute_force(self):
+        rng = np.random.default_rng(9)
+        data = rng.random((100, 3))
+        assert np.array_equal(k_skyband_of_array(data, 3, maximize=True),
+                              brute_force_skyband(data, 3, maximize=True))
+
+    def test_duplicates_count_as_dominators(self):
+        # Three copies of a dominating point: the dominated point has 3
+        # strict dominators, so it enters only the 4-skyband.
+        data = np.array([[0.1, 0.1]] * 3 + [[0.5, 0.5]])
+        assert len(k_skyband_of_array(data, 3)) == 3
+        assert len(k_skyband_of_array(data, 4)) == 4
+        assert np.array_equal(k_skyband_of_array(data, 3),
+                              brute_force_skyband(data, 3))
+
+    def test_band_grows_with_k(self):
+        rng = np.random.default_rng(4)
+        data = rng.random((200, 3))
+        sizes = [len(k_skyband_of_array(data, k)) for k in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+    def test_preserves_input_order_and_values(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((50, 2))
+        band = k_skyband_of_array(data, 2)
+        rows = {tuple(row) for row in data}
+        assert all(tuple(row) in rows for row in band)
+
+    def test_empty_and_bad_k(self):
+        assert len(k_skyband_of_array(np.empty((0, 3)), 2)) == 0
+        with pytest.raises(ValueError):
+            k_skyband_of_array(np.ones((2, 2)), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=1, max_size=40),
+           st.integers(1, 4))
+    def test_property_matches_brute_force(self, points, k):
+        data = np.asarray(points, dtype=float)
+        assert np.array_equal(k_skyband_of_array(data, k),
+                              brute_force_skyband(data, k))
+
+
+class TestMergeSkylines:
+    def union_oracle(self, *collections):
+        return sorted(skyline_of(
+            [p for c in collections for p in c]))
+
+    def test_cross_path_matches_union_skyline(self):
+        # one big antichain against one small one — the cross-tensor path
+        rng = np.random.default_rng(2)
+        big = sorted(map(as_point, skyline_of_array(rng.random((5000, 3)))))
+        small = sorted(map(as_point, skyline_of_array(rng.random((15, 3)))))
+        # ratio > ~3.73 guarantees the dispatch picks the cross path
+        assert len(big) > 4 * len(small)
+        assert merge_skylines(big, small) == self.union_oracle(big, small)
+
+    def test_many_parts_match_union_skyline(self):
+        # 16 similar-sized antichains — the union-kernel path
+        rng = np.random.default_rng(3)
+        parts = [sorted(map(as_point, skyline_of_array(rng.random((80, 3)))))
+                 for _ in range(16)]
+        assert merge_skylines(*parts) == self.union_oracle(*parts)
+
+    def test_result_is_antichain(self):
+        rng = np.random.default_rng(4)
+        parts = [sorted(map(as_point, skyline_of_array(rng.random((60, 2)))))
+                 for _ in range(3)]
+        merged = merge_skylines(*parts)
+        assert not any(dominates(a, b)
+                       for a in merged for b in merged if a != b)
+
+    def test_degenerate_arities(self):
+        assert merge_skylines() == []
+        assert merge_skylines([]) == []
+        assert merge_skylines([(0.3, 0.1)]) == [(0.3, 0.1)]
+        assert merge_skylines([(0.2, 0.2)], [(0.2, 0.2)]) == [(0.2, 0.2)]
+        assert merge_skylines((), [(0.1, 0.9)], ()) == [(0.1, 0.9)]
+
+
+class TestOneReductionPerPeer:
+    """Regression: the store cache must keep the local-skyline kernel at
+    one invocation per peer per query (it used to run twice — once for
+    the local state, once for the local answer)."""
+
+    @pytest.fixture()
+    def network(self):
+        rng = np.random.default_rng(21)
+        data = rng.random((500, 2)) * 0.999
+        overlay = MidasOverlay(2, size=1, seed=3, join_policy="data")
+        overlay.load(data)
+        overlay.grow_to(24)
+        return overlay, data
+
+    def counting(self, monkeypatch):
+        counts = {}
+        original = SkylineHandler._compute_local_skyline
+
+        def wrapper(self, store):
+            counts[id(store)] = counts.get(id(store), 0) + 1
+            return original(self, store)
+
+        monkeypatch.setattr(SkylineHandler, "_compute_local_skyline", wrapper)
+        return counts
+
+    @pytest.mark.parametrize("r", (0, 2))
+    def test_at_most_one_kernel_run_per_peer(self, network, monkeypatch, r):
+        overlay, data = network
+        counts = self.counting(monkeypatch)
+        result = distributed_skyline(
+            overlay.random_peer(np.random.default_rng(0)), 2,
+            restriction=overlay.domain(), r=r)
+        assert result.answer == skyline_reference(data)
+        assert counts, "no peer computed a local skyline"
+        assert max(counts.values()) == 1
+
+    def test_requery_of_static_network_runs_no_kernels(self, network,
+                                                      monkeypatch):
+        overlay, data = network
+        initiator = overlay.random_peer(np.random.default_rng(1))
+        first = distributed_skyline(initiator, 2,
+                                    restriction=overlay.domain(), r=1)
+        counts = self.counting(monkeypatch)
+        again = distributed_skyline(initiator, 2,
+                                    restriction=overlay.domain(), r=1)
+        assert again.answer == first.answer == skyline_reference(data)
+        assert counts == {}
+
+    def test_disabled_cache_restores_double_work(self, network, monkeypatch):
+        overlay, data = network
+        counts = self.counting(monkeypatch)
+        monkeypatch.setattr(LocalStore, "cache_enabled", False)
+        result = distributed_skyline(
+            overlay.random_peer(np.random.default_rng(0)), 2,
+            restriction=overlay.domain(), r=1)
+        assert result.answer == skyline_reference(data)
+        assert max(counts.values()) == 2
