@@ -1,16 +1,31 @@
 """Robustness: RIPPLE under churn and message loss (fault-injection layer).
 
-Sweeps crash fraction x r over MIDAS, Chord, and CAN and records the
-degradation profile: completeness, unreachable volume, fired timeouts,
-retransmissions, and re-routes all ride on the benchmark's ``extra_info``
-via :meth:`QueryStats.as_dict`.  The wall-clock number measures the
-supervised simulator (acks, watchdogs, retries included).
+Sweeps crash fraction x r x replication degree over MIDAS, Chord, and CAN
+and records the degradation profile: completeness, unreachable volume,
+fired timeouts, retransmissions, re-routes, and — when a
+:class:`~repro.overlays.replication.ReplicaDirectory` is attached —
+recovered regions and replica reads, all riding on the benchmark's
+``extra_info`` via :meth:`QueryStats.as_dict`.  The wall-clock number
+measures the supervised simulator (acks, watchdogs, heartbeats, retries
+included).
 
 Also runnable as a script for quick sweeps outside pytest::
 
     PYTHONPATH=src python -m benchmarks.bench_churn --smoke
     PYTHONPATH=src python -m benchmarks.bench_churn --peers 128 \
         --out churn.json
+
+    # refresh the committed completeness baseline (BENCH_churn.json)
+    PYTHONPATH=src python -m benchmarks.bench_churn --record
+
+    # CI gate: rerun the smoke config, compare against the baseline
+    PYTHONPATH=src python -m benchmarks.bench_churn --smoke \
+        --compare BENCH_churn.json --out bench_churn_smoke.json
+
+Unlike the wall-clock kernels gate (``bench_kernels.py``), the churn gate
+compares *simulated* completeness, which is fully deterministic (seeded
+hashing, no wall clock) — so the default tolerance is zero: any drop in
+the completeness of a recorded scenario is a robustness regression.
 """
 
 import argparse
@@ -21,11 +36,14 @@ import numpy as np
 import pytest
 
 from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
-                   Rect, TopKHandler)
+                   Rect, ReplicaDirectory, SimulationBudgetExceeded,
+                   TopKHandler)
 from repro.net.faults import FaultPlan, resilient_ripple
 from repro.queries.rangeq import RangeHandler
 
 from .conftest import attach
+
+BASELINE_PATH = "BENCH_churn.json"
 
 
 def build_overlay(kind, *, peers, tuples, seed):
@@ -52,13 +70,15 @@ def handler_for(kind, query):
 
 
 def run_one(overlay, kind, query, r, crash_fraction, seed, *,
-            drop_prob=0.05, jitter=1):
+            drop_prob=0.05, jitter=1, horizon=64, replicas=None):
     plan = FaultPlan.churn(overlay, crash_fraction=crash_fraction,
-                           seed=seed, drop_prob=drop_prob, jitter=jitter)
+                           seed=seed, horizon=horizon,
+                           drop_prob=drop_prob, jitter=jitter)
     handler = handler_for(kind, query)
     initiator = overlay.random_peer(np.random.default_rng(seed))
     return resilient_ripple(initiator, handler, r,
-                            restriction=overlay.domain(), faults=plan)
+                            restriction=overlay.domain(), faults=plan,
+                            replicas=replicas)
 
 
 # -- pytest-benchmark sweep --------------------------------------------------
@@ -110,25 +130,108 @@ def test_loss_only_recovers(benchmark, kind):
     attach(benchmark, result)
 
 
+@pytest.mark.parametrize("kind", OVERLAYS)
+def test_replicated_sweep(benchmark, kind):
+    """25% from-time-zero churn with R=2 replication and self-healing:
+    completeness must not fall below the unreplicated run's."""
+    overlay = build_overlay(kind, peers=48, tuples=400, seed=17)
+    directory = ReplicaDirectory(overlay, copies=2)
+
+    def run():
+        return run_one(overlay, kind, "range", 0, 0.25, seed=29,
+                       horizon=4, replicas=directory)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    bare = run_one(overlay, kind, "range", 0, 0.25, seed=29, horizon=4)
+    assert result.stats.completeness >= bare.stats.completeness
+    benchmark.extra_info["overlay"] = kind
+    benchmark.extra_info["replicas"] = 2
+    attach(benchmark, result)
+
+
 # -- CLI sweep ---------------------------------------------------------------
 
-def sweep(*, peers, tuples, seeds, crash_fractions, rs, drop_prob, jitter):
+def scenario_key(kind, *, peers, tuples, seed, crash, r, replicas,
+                 drop_prob):
+    """Stable row identity for the recorded-baseline compare gate."""
+    return (f"{kind}-p{peers}-t{tuples}-s{seed}-c{int(crash * 100)}"
+            f"-r{min(r, 10 ** 6)}-R{replicas}-d{int(drop_prob * 100)}")
+
+
+def sweep(*, peers, tuples, seeds, crash_fractions, rs, replication,
+          drop_prob, jitter, horizon=8):
+    """Completeness-vs-churn rows across replication degrees.
+
+    Crashes are drawn over a short ``horizon`` so they land while the
+    query is in flight (late crashes hit peers that already answered and
+    measure nothing).  A run that blows the event budget is recorded with
+    its partial stats and flagged, never dropped.
+    """
     rows = []
     for kind in OVERLAYS:
         for seed in seeds:
             overlay = build_overlay(kind, peers=peers, tuples=tuples,
                                     seed=seed)
+            directories = {0: None}
+            for copies in replication:
+                if copies > 0:
+                    directories[copies] = ReplicaDirectory(overlay,
+                                                           copies=copies)
             for crash in crash_fractions:
                 for r in rs:
-                    result = run_one(overlay, kind, "range", r, crash,
-                                     seed=seed + 1000,
-                                     drop_prob=drop_prob, jitter=jitter)
-                    row = {"overlay": kind, "peers": peers, "seed": seed,
-                           "crash_fraction": crash, "r": min(r, 10 ** 6),
-                           "drop_prob": drop_prob}
-                    row.update(result.stats.as_dict())
-                    rows.append(row)
+                    for copies in replication:
+                        row = {"overlay": kind, "peers": peers,
+                               "tuples": tuples, "seed": seed,
+                               "crash_fraction": crash,
+                               "r": min(r, 10 ** 6), "replicas": copies,
+                               "drop_prob": drop_prob,
+                               "budget_exceeded": False}
+                        row["key"] = scenario_key(
+                            kind, peers=peers, tuples=tuples, seed=seed,
+                            crash=crash, r=r, replicas=copies,
+                            drop_prob=drop_prob)
+                        try:
+                            result = run_one(
+                                overlay, kind, "range", r, crash,
+                                seed=seed + 1000, drop_prob=drop_prob,
+                                jitter=jitter, horizon=horizon,
+                                replicas=directories[copies])
+                            row.update(result.stats.as_dict())
+                        except SimulationBudgetExceeded as exc:
+                            row["budget_exceeded"] = True
+                            if exc.stats is not None:
+                                row.update(exc.stats.as_dict())
+                        rows.append(row)
     return rows
+
+
+def compare(fresh_rows, baseline, tolerance):
+    """Deterministic completeness gate; returns failure strings.
+
+    Every baseline scenario re-run by the fresh sweep must reach at least
+    ``recorded completeness - tolerance`` (scenarios with different
+    configs are skipped, mirroring the kernels gate).
+    """
+    fresh = {row["key"]: row for row in fresh_rows}
+    failures = []
+    for key, recorded in baseline.get("rows", {}).items():
+        now = fresh.get(key)
+        if now is None:
+            continue  # configs differ between --smoke and --record
+        floor = recorded["completeness"] - tolerance
+        if now["completeness"] < floor:
+            failures.append(
+                f"{key}: completeness {now['completeness']:.4f} below "
+                f"recorded {recorded['completeness']:.4f} "
+                f"(tolerance {tolerance})")
+        if now["budget_exceeded"] and not recorded["budget_exceeded"]:
+            failures.append(f"{key}: run newly exceeds its event budget")
+    return failures
+
+
+SMOKE = dict(peers=16, tuples=120, seeds=[0],
+             crash_fractions=[0.0, 0.25], rs=[0, 10 ** 9],
+             replication=[0, 1, 2])
 
 
 def main(argv=None):
@@ -136,30 +239,59 @@ def main(argv=None):
         description="RIPPLE completeness/latency under churn")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny network, one seed (CI sanity run)")
+    parser.add_argument("--record", action="store_true",
+                        help=f"write the completeness baseline "
+                             f"{BASELINE_PATH} (smoke + full configs)")
+    parser.add_argument("--compare", type=str, default=None, metavar="PATH",
+                        help="gate fresh completeness against this baseline")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="allowed completeness drop per scenario "
+                             "(default 0: the simulation is deterministic)")
     parser.add_argument("--peers", type=int, default=64)
     parser.add_argument("--tuples", type=int, default=600)
     parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     parser.add_argument("--crash", type=float, nargs="+",
                         default=[0.0, 0.1, 0.25])
+    parser.add_argument("--replicas", type=int, nargs="+", default=[0, 1, 2])
     parser.add_argument("--drop", type=float, default=0.05)
     parser.add_argument("--jitter", type=int, default=1)
     parser.add_argument("--out", type=str, default=None,
                         help="write JSON rows here instead of stdout")
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        args.peers, args.tuples, args.seeds = 16, 120, [0]
-        args.crash = [0.0, 0.25]
+    log = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
 
-    rows = sweep(peers=args.peers, tuples=args.tuples, seeds=args.seeds,
-                 crash_fractions=args.crash, rs=[0, 10 ** 9],
-                 drop_prob=args.drop, jitter=args.jitter)
+    if args.smoke:
+        config = dict(SMOKE, drop_prob=args.drop, jitter=args.jitter)
+    else:
+        config = dict(peers=args.peers, tuples=args.tuples, seeds=args.seeds,
+                      crash_fractions=args.crash, rs=[0, 10 ** 9],
+                      replication=args.replicas, drop_prob=args.drop,
+                      jitter=args.jitter)
+    rows = sweep(**config)
+
+    if args.record:
+        # the baseline covers the smoke config too, so the CI smoke run
+        # always finds matching scenario keys to gate against
+        smoke_rows = rows if args.smoke else \
+            sweep(**dict(SMOKE, drop_prob=args.drop, jitter=args.jitter))
+        recorded = {row["key"]: row for row in smoke_rows}
+        if not args.smoke:
+            recorded.update({row["key"]: row for row in rows})
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump({"meta": {"drop_prob": args.drop,
+                                "jitter": args.jitter,
+                                "smoke": SMOKE},
+                       "rows": recorded}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log(f"wrote baseline {BASELINE_PATH} ({len(recorded)} scenarios)")
+
     payload = json.dumps(rows, indent=2)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(payload + "\n")
-        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
-    else:
+        log(f"wrote {len(rows)} rows to {args.out}")
+    elif not args.record:
         print(payload)
 
     # sanity for CI: every fault-free run is complete, every run bounded
@@ -167,6 +299,18 @@ def main(argv=None):
         assert 0.0 <= row["completeness"] <= 1.0
         if row["crash_fraction"] == 0.0 and row["drop_prob"] == 0.0:
             assert row["completeness"] == 1.0
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        failures = compare(rows, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                log(f"REGRESSION {failure}")
+            return 1
+        gated = sum(1 for row in rows
+                    if row["key"] in baseline.get("rows", {}))
+        log(f"churn gate passed ({gated} scenarios compared)")
     return 0
 
 

@@ -27,18 +27,21 @@ paper-vs-measured record of every figure.
 
 from .common.geometry import Frustum, Interval, Point, Rect, dominates
 from .common.scoring import LinearScore, NearestScore, ScoringFunction
-from .common.store import LocalStore
-from .core.framework import Link, SLOW, run_fast, run_ripple, run_slow
+from .common.store import LocalStore, Replica
+from .core.framework import Link, SLOW, physical_id, run_fast, run_ripple, \
+    run_slow
 from .core.handler import QueryHandler
 from .core.regions import (ArcRegion, FrustumRegion, RectRegion, Region,
                            domain_region)
 from .net.context import QueryResult, QueryStats
-from .net.eventsim import event_driven_ripple
+from .net.detector import FailureDetector
+from .net.eventsim import SimulationBudgetExceeded, event_driven_ripple
 from .net.faults import FaultPlan, resilient_ripple
 from .overlays.baton import BatonOverlay, BatonPeer
 from .overlays.can import CanOverlay, CanPeer
 from .overlays.chord import ChordOverlay, ChordPeer
 from .overlays.midas import MidasOverlay, MidasPeer
+from .overlays.replication import PromotedPeer, ReplicaDirectory
 from .overlays.zcurve import ZCurve
 from .queries.diversify import (DiversificationObjective, RippleDiversifier,
                                 greedy_diversify)
@@ -57,6 +60,7 @@ __all__ = [
     "ChordOverlay",
     "ChordPeer",
     "DiversificationObjective",
+    "FailureDetector",
     "FaultPlan",
     "Frustum",
     "FrustumRegion",
@@ -68,6 +72,7 @@ __all__ = [
     "MidasPeer",
     "NearestScore",
     "Point",
+    "PromotedPeer",
     "QueryHandler",
     "QueryResult",
     "QueryStats",
@@ -75,9 +80,12 @@ __all__ = [
     "Rect",
     "RectRegion",
     "Region",
+    "Replica",
+    "ReplicaDirectory",
     "RippleDiversifier",
     "SLOW",
     "ScoringFunction",
+    "SimulationBudgetExceeded",
     "SkylineHandler",
     "TopKHandler",
     "ZCurve",
@@ -87,6 +95,7 @@ __all__ = [
     "dominates",
     "event_driven_ripple",
     "greedy_diversify",
+    "physical_id",
     "resilient_ripple",
     "run_fast",
     "run_ripple",

@@ -5,6 +5,16 @@ store keeps them in a single ``(m, d)`` NumPy array so local scans (top-k,
 skyline seeds, best-phi) are vectorized, while everything that crosses the
 simulated network remains plain tuples (see :mod:`repro.common.geometry`).
 
+For fault tolerance the store is also the unit of *replication*: a
+:class:`Replica` is a version-stamped mirror of another peer's store,
+installed on structurally chosen neighbors by
+:class:`~repro.overlays.replication.ReplicaDirectory`.  The mirror rides
+the same consistency machinery as the computation cache — every mutation
+bumps :attr:`LocalStore.version`, and :meth:`Replica.refresh` re-snapshots
+exactly when the owner's version moved, so a replica is never silently
+stale and never copied needlessly (split/merge handoffs during churn bump
+the version too, invalidating the mirrors of both stores involved).
+
 Beyond raw storage the store is also the *per-peer computation cache*: a
 rank query makes a peer reduce its local array more than once (the local
 state and the local answer both derive from the same reduction), and
@@ -26,7 +36,7 @@ import numpy as np
 from .geometry import Point, Rect, as_point
 from .scoring import ScoringFunction
 
-__all__ = ["LocalStore"]
+__all__ = ["LocalStore", "Replica"]
 
 _GROWTH = 1.6
 
@@ -217,3 +227,39 @@ class LocalStore:
             return []
         scores, _, _ = self._score_index(fn)
         return [as_point(self._buf[i]) for i in np.flatnonzero(scores >= tau)]
+
+
+class Replica:
+    """A version-stamped mirror of another peer's :class:`LocalStore`.
+
+    ``owner_id`` names the peer whose tuples are mirrored; ``store`` is a
+    private copy (so queries served from the replica get the full store
+    API — kernels, score index, computation cache — without touching the
+    owner), and ``version`` records the owner-store version the snapshot
+    reflects.  :meth:`refresh` models the owner pushing updates to its
+    replica holders while alive: it re-snapshots only when the owner's
+    version moved, making maintenance free on static networks.
+    """
+
+    __slots__ = ("owner_id", "store", "version")
+
+    def __init__(self, owner_id: Hashable, owner_store: LocalStore):
+        self.owner_id = owner_id
+        self.store = LocalStore(owner_store.dims)
+        self.version: int = -1
+        self.refresh(owner_store)
+
+    def refresh(self, owner_store: LocalStore) -> bool:
+        """Re-snapshot from the owner if it mutated; True when copied."""
+        if owner_store.version == self.version \
+                and owner_store.dims == self.store.dims:
+            return False
+        self.store = LocalStore(owner_store.dims)
+        if len(owner_store):
+            self.store.bulk_load(owner_store.array)
+        self.version = owner_store.version
+        return True
+
+    def __repr__(self) -> str:
+        return (f"Replica(owner={self.owner_id!r}, tuples={len(self.store)}, "
+                f"version={self.version})")

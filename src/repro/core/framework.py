@@ -37,7 +37,8 @@ from ..net.context import QueryContext, QueryResult
 from .handler import QueryHandler
 from .regions import Region
 
-__all__ = ["Link", "PeerLike", "run_fast", "run_slow", "run_ripple", "SLOW"]
+__all__ = ["Link", "PeerLike", "physical_id", "run_fast", "run_slow",
+           "run_ripple", "SLOW"]
 
 #: Ripple parameter value that never runs out: every peer uses the
 #: sequential loop, i.e. Algorithm 2.  (Any r > maximum link count works.)
@@ -54,13 +55,30 @@ class Link:
 
 @runtime_checkable
 class PeerLike(Protocol):
-    """What the templates require of an overlay peer."""
+    """What the templates require of an overlay peer.
+
+    A peer may additionally expose ``physical_id`` when its logical
+    identity differs from the machine executing it (a replica holder
+    promoted to stand in for a dead owner, see
+    :class:`~repro.overlays.replication.PromotedPeer`); liveness checks
+    go through :func:`physical_id`, which falls back to ``peer_id``.
+    """
 
     peer_id: Hashable
     store: LocalStore
 
     def links(self) -> Sequence[Link]:  # pragma: no cover - protocol
         ...
+
+
+def physical_id(peer: PeerLike) -> Hashable:
+    """The id of the machine executing ``peer`` (for liveness checks).
+
+    Ordinary peers execute themselves; a promoted replica holder executes
+    under the dead owner's logical ``peer_id`` but crashes (or not) as
+    itself.
+    """
+    return getattr(peer, "physical_id", peer.peer_id)
 
 
 def run_ripple(

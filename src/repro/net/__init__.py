@@ -5,11 +5,15 @@ from .routing import RoutingError, greedy_route, route_around
 
 __all__ = ["DuplicateVisitError", "QueryContext", "QueryResult",
            "QueryStats", "RoutingError", "greedy_route", "route_around",
-           "EventSimulator", "event_driven_ripple", "DEFAULT_MAX_EVENTS",
-           "FaultPlan", "region_volume", "resilient_ripple"]
+           "EventSimulator", "SimulationBudgetExceeded",
+           "event_driven_ripple", "DEFAULT_MAX_EVENTS",
+           "FailureDetector", "FaultPlan", "region_volume",
+           "resilient_ripple"]
 
-_EVENTSIM = {"EventSimulator", "event_driven_ripple", "DEFAULT_MAX_EVENTS"}
+_EVENTSIM = {"EventSimulator", "SimulationBudgetExceeded",
+             "event_driven_ripple", "DEFAULT_MAX_EVENTS"}
 _FAULTS = {"FaultPlan", "region_volume", "resilient_ripple"}
+_DETECTOR = {"FailureDetector"}
 
 
 def __getattr__(name: str):
@@ -22,4 +26,7 @@ def __getattr__(name: str):
     if name in _FAULTS:
         from . import faults
         return getattr(faults, name)
+    if name in _DETECTOR:
+        from . import detector
+        return getattr(detector, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -60,6 +60,11 @@ class QueryStats:
     dropped_messages: int = 0
     ack_messages: int = 0
     unreachable_volume: float = 0.0
+    #: Stranded restriction regions rescued by promoting a replica holder
+    #: (see :mod:`repro.overlays.replication`) instead of being abandoned.
+    regions_recovered: int = 0
+    #: Local reductions served from a replica of a dead peer's store.
+    replica_reads: int = 0
     #: Fraction of the restricted domain volume actually processed; 1.0
     #: for fault-free executions, < 1.0 when regions were abandoned.
     completeness: float = 1.0
@@ -87,6 +92,8 @@ class QueryStats:
             dropped_messages=self.dropped_messages + other.dropped_messages,
             ack_messages=self.ack_messages + other.ack_messages,
             unreachable_volume=self.unreachable_volume + other.unreachable_volume,
+            regions_recovered=self.regions_recovered + other.regions_recovered,
+            replica_reads=self.replica_reads + other.replica_reads,
             completeness=min(self.completeness, other.completeness),
         )
 
@@ -127,6 +134,8 @@ class QueryContext:
     dropped_messages: int = 0
     ack_messages: int = 0
     unreachable_volume: float = 0.0
+    regions_recovered: int = 0
+    replica_reads: int = 0
     #: Volume of the query's initial restriction area; the denominator of
     #: the completeness metric.  0.0 means "not tracked" (fault-free
     #: engines) and yields completeness 1.0.
@@ -184,6 +193,14 @@ class QueryContext:
         """A restriction region was abandoned after exhausting recovery."""
         self.unreachable_volume += volume
 
+    def on_region_recovered(self) -> None:
+        """A stranded region was re-issued against a promoted replica."""
+        self.regions_recovered += 1
+
+    def on_replica_read(self) -> None:
+        """A dead peer's data was processed from a live replica."""
+        self.replica_reads += 1
+
     def note_time(self, now: int) -> None:
         if now > self.last_activity:
             self.last_activity = now
@@ -210,5 +227,7 @@ class QueryContext:
             dropped_messages=self.dropped_messages,
             ack_messages=self.ack_messages,
             unreachable_volume=self.unreachable_volume,
+            regions_recovered=self.regions_recovered,
+            replica_reads=self.replica_reads,
             completeness=self.completeness(),
         )

@@ -42,22 +42,46 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
-from ..core.framework import PeerLike, SLOW
+from ..core.framework import PeerLike, SLOW, physical_id
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
-from .context import QueryContext, QueryResult
+from .context import QueryContext, QueryResult, QueryStats
 from .routing import route_around
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from ..overlays.replication import ReplicaDirectory
+    from .detector import FailureDetector
     from .faults import FaultPlan
 
-__all__ = ["EventSimulator", "event_driven_ripple", "DEFAULT_MAX_EVENTS"]
+__all__ = ["EventSimulator", "SimulationBudgetExceeded",
+           "event_driven_ripple", "DEFAULT_MAX_EVENTS"]
 
 #: Default event budget: far above any legitimate query (the largest
 #: benchmark networks execute a few hundred thousand events) but low
 #: enough that a fault-induced retry storm or a scheduling bug fails
 #: fast instead of spinning forever.
 DEFAULT_MAX_EVENTS = 5_000_000
+
+
+class SimulationBudgetExceeded(RuntimeError):
+    """The simulator executed more events than its budget allows.
+
+    A loud safety net against retry storms and self-rescheduling bugs.
+    Carries the budget (``cap``), how many events actually executed
+    (``executed``), and — when the simulator had a
+    :class:`~repro.net.context.QueryContext` attached — the partial
+    :class:`~repro.net.context.QueryStats` at the moment the budget blew,
+    so callers can report how far the degraded query got instead of
+    losing all observability.  Subclasses ``RuntimeError`` for backward
+    compatibility with pre-existing ``except RuntimeError`` handlers.
+    """
+
+    def __init__(self, message: str, *, cap: int, executed: int,
+                 stats: "QueryStats | None" = None) -> None:
+        super().__init__(message)
+        self.cap = cap
+        self.executed = executed
+        self.stats = stats
 
 
 class EventSimulator:
@@ -81,6 +105,14 @@ class EventSimulator:
         #: Models the remote peer remembering a request so duplicate
         #: forwards are suppressed and completed results can be replayed.
         self.requests: dict[int, list[Any]] = {}
+        #: Self-healing attachments (set by resilient_ripple when a
+        #: ReplicaDirectory is supplied): the promotion source and the
+        #: failure detector steering proactive link patching.
+        self.replicas: "ReplicaDirectory | None" = None
+        self.detector: "FailureDetector | None" = None
+        #: The running query's context; lets a blown event budget surface
+        #: partial stats through SimulationBudgetExceeded.
+        self.context: QueryContext | None = None
 
     def new_message_id(self) -> int:
         """Sequence number identifying one message delivery (fault draws)."""
@@ -98,9 +130,11 @@ class EventSimulator:
     def run(self, max_events: int | None = None) -> int:
         """Drain the queue; returns the time of the last event.
 
-        Raises ``RuntimeError`` when more than ``max_events`` (default:
-        the constructor's cap) events execute — a loud safety net against
-        retry storms and self-rescheduling bugs.
+        Raises :class:`SimulationBudgetExceeded` (a ``RuntimeError``) when
+        more than ``max_events`` (default: the constructor's cap) events
+        execute — a loud safety net against retry storms and
+        self-rescheduling bugs.  When a context is attached the exception
+        carries the partial stats collected so far.
         """
         cap = self.max_events if max_events is None else max_events
         last = 0
@@ -109,10 +143,13 @@ class EventSimulator:
             time, _, action = heapq.heappop(self._queue)
             executed += 1
             if cap is not None and executed > cap:
-                raise RuntimeError(
+                stats = None if self.context is None \
+                    else self.context.stats(self.now)
+                raise SimulationBudgetExceeded(
                     f"EventSimulator exceeded its event budget of {cap}; "
                     "likely a retry storm or a scheduling bug "
-                    "(raise max_events if the workload is legitimate)")
+                    "(raise max_events if the workload is legitimate)",
+                    cap=cap, executed=executed, stats=stats)
             self.now = last = time
             action()
         return last
@@ -152,10 +189,17 @@ class _Invocation:
         faults = self.sim.faults
         if faults is not None:
             self.ctx.note_time(self.sim.now)
-            self._birth = faults.incarnation(self.peer.peer_id, self.sim.now)
+            # Liveness and incarnation track the *machine* doing the work:
+            # a promoted replica holder executes under the dead owner's
+            # logical peer_id but crashes (or not) as itself.
+            self._birth = faults.incarnation(physical_id(self.peer),
+                                             self.sim.now)
             self._gone = False
             self._answered = False
         processes = self.ctx.begin_processing(self.peer.peer_id)
+        if (processes and faults is not None
+                and physical_id(self.peer) != self.peer.peer_id):
+            self.ctx.on_replica_read()
         if processes:
             self.local_state = self.handler.compute_local_state(
                 self.peer.store, self.received_state)
@@ -188,8 +232,9 @@ class _Invocation:
         if self._gone:
             return True
         now = self.sim.now
-        if (not faults.alive(self.peer.peer_id, now)
-                or faults.incarnation(self.peer.peer_id, now) != self._birth):
+        pid = physical_id(self.peer)
+        if (not faults.alive(pid, now)
+                or faults.incarnation(pid, now) != self._birth):
             self._gone = True
             if self._processes and not self._answered:
                 self.ctx.processed.discard(self.peer.peer_id)
@@ -301,7 +346,15 @@ class _Attempt:
              -> response accepted | failure
         failure -> re-route the region through an alternate live
                    coordinator (route_around), bounded in depth
+                -> promote a live replica of the target and re-issue
+                   the region against it (see repro.overlays.replication)
                 -> abandon: account the region's volume as unreachable
+
+    When a ReplicaDirectory and a FailureDetector are attached to the
+    simulator, an attempt whose target the detector has already declared
+    dead is *proactively* redirected to the promoted stand-in before the
+    first forward (the patched-link fast path), and ack timeouts against
+    detector-confirmed-dead targets skip the pointless retry ladder.
 
     Duplicate forwards are suppressed through the simulator's request
     registry; a completed remote execution replays its cached response
@@ -311,12 +364,14 @@ class _Attempt:
 
     __slots__ = ("parent", "sim", "ctx", "faults", "target", "sub", "r",
                  "route_depth", "request_id", "tries", "watchdogs", "gen",
-                 "acked", "done", "on_states", "on_give_up", "extra_delay")
+                 "acked", "done", "on_states", "on_give_up", "extra_delay",
+                 "tried")
 
     def __init__(self, parent: _Invocation, target: PeerLike, sub: Region,
                  r: int, on_states: Callable[[list[Any]], None],
                  on_give_up: Callable[[], None],
-                 route_depth: int | None = None, extra_delay: int = 0):
+                 route_depth: int | None = None, extra_delay: int = 0,
+                 tried: frozenset = frozenset()):
         self.parent = parent
         self.sim = parent.sim
         self.ctx = parent.ctx
@@ -336,10 +391,15 @@ class _Attempt:
         self.on_give_up = on_give_up
         #: Relay hops a re-routed forward spends reaching its coordinator.
         self.extra_delay = extra_delay
+        #: Physical ids of replica holders this region was already issued
+        #: against; bounds replica recovery (the holder pool only shrinks).
+        self.tried = tried
 
     # -- forward + ack ----------------------------------------------------
 
     def send(self) -> None:
+        if self.tries == 0:
+            self._maybe_redirect()
         self.tries += 1
         if self.tries > 1:
             self.ctx.on_retry()
@@ -355,6 +415,25 @@ class _Attempt:
         deadline = delay + (self.faults.ack_timeout << (self.tries - 1))
         self.sim.schedule(deadline, lambda: self._ack_timeout(gen))
 
+    def _maybe_redirect(self) -> None:
+        """Patched-link fast path: the failure detector already declared
+        the target dead, so forward straight to its promoted stand-in."""
+        detector = self.sim.detector
+        replicas = self.sim.replicas
+        if detector is None or replicas is None:
+            return
+        if not detector.is_dead(physical_id(self.target)):
+            return
+        now = self.sim.now
+        promoted = replicas.promote(
+            self.target.peer_id,
+            lambda pid: self.faults.alive(pid, now),
+            exclude=self.tried)
+        if promoted is not None:
+            self.target = promoted
+            self.tried = self.tried | {promoted.physical_id}
+            self.ctx.on_region_recovered()
+
     def _deliver(self, message: int) -> None:
         if self.done:
             return  # stale retransmission of an already-settled request
@@ -363,11 +442,11 @@ class _Attempt:
             self.ctx.on_drop()
             return
         now = self.sim.now
-        if not faults.alive(self.target.peer_id, now):
+        if not faults.alive(physical_id(self.target), now):
             self.ctx.on_drop()  # swallowed by a dead peer
             return
         self._send_ack()
-        incarnation = faults.incarnation(self.target.peer_id, now)
+        incarnation = faults.incarnation(physical_id(self.target), now)
         entry = self.sim.requests.get(self.request_id)
         if entry is not None and entry[0] == incarnation:
             if entry[1] is not None:
@@ -397,7 +476,12 @@ class _Attempt:
         if self.parent._dead():
             return
         self.ctx.on_timeout()
-        if self.tries <= self.faults.max_retries:
+        detector = self.sim.detector
+        if (detector is not None
+                and detector.is_dead(physical_id(self.target))):
+            # Confirmed dead: retrying the same target is pointless.
+            self._fail()
+        elif self.tries <= self.faults.max_retries:
             self.send()
         else:
             self._fail()
@@ -422,14 +506,19 @@ class _Attempt:
         faults = self.faults
         now = self.sim.now
         entry = self.sim.requests.get(self.request_id)
-        healthy = (faults.alive(self.target.peer_id, now)
+        healthy = (faults.alive(physical_id(self.target), now)
                    and entry is not None
-                   and entry[0] == faults.incarnation(self.target.peer_id, now))
+                   and entry[0] == faults.incarnation(physical_id(self.target),
+                                                      now))
         if not healthy:
             # The remote peer crashed (and possibly recovered with
             # amnesia): the in-flight execution is gone, start over.
             self.ctx.on_timeout()
-            if self.tries <= faults.max_retries:
+            detector = self.sim.detector
+            if (detector is not None
+                    and detector.is_dead(physical_id(self.target))):
+                self._fail()
+            elif self.tries <= faults.max_retries:
                 self.send()
             else:
                 self._fail()
@@ -464,7 +553,8 @@ class _Attempt:
     # -- failure ----------------------------------------------------------
 
     def _fail(self) -> None:
-        """Retries exhausted: route around the target, else abandon."""
+        """Retries exhausted: route around the target, else promote a
+        replica of its region, else abandon."""
         faults = self.faults
         if self.route_depth < faults.max_reroute_depth:
             now = self.sim.now
@@ -479,10 +569,42 @@ class _Attempt:
                 relay = _Attempt(self.parent, alternate, self.sub, self.r,
                                  self.on_states, self.on_give_up,
                                  route_depth=self.route_depth + 1,
-                                 extra_delay=max(0, hops - 1))
+                                 extra_delay=max(0, hops - 1),
+                                 tried=self.tried)
                 relay.send()
                 return
+        if self._recover_via_replica():
+            return
         self._give_up()
+
+    def _recover_via_replica(self) -> bool:
+        """Re-issue the stranded region against a live replica holder.
+
+        The promoted stand-in impersonates the dead target (same logical
+        peer_id, mirrored store, same link table), so the region is served
+        exactly as the target would have served it.  ``tried`` accumulates
+        every holder already consumed by this region's recovery lineage,
+        so the promotion pool strictly shrinks and recovery terminates.
+        """
+        replicas = self.sim.replicas
+        if replicas is None:
+            return False
+        now = self.sim.now
+        promoted = replicas.promote(
+            self.target.peer_id,
+            lambda pid: self.faults.alive(pid, now),
+            exclude=self.tried)
+        if promoted is None:
+            return False
+        self.ctx.on_region_recovered()
+        self.done = True
+        self.gen += 1
+        relay = _Attempt(self.parent, promoted, self.sub, self.r,
+                         self.on_states, self.on_give_up,
+                         route_depth=self.route_depth,
+                         tried=self.tried | {promoted.physical_id})
+        relay.send()
+        return True
 
     def _give_up(self) -> None:
         self.done = True
@@ -509,6 +631,7 @@ def event_driven_ripple(
     """
     sim = EventSimulator()
     ctx = QueryContext(strict=strict)
+    sim.context = ctx
     root = _Invocation(sim, ctx, handler, initiator,
                        handler.initial_state(), restriction,
                        min(r, SLOW), initiator.peer_id, lambda states: None)

@@ -45,7 +45,7 @@ cross-validates property-style against the recursive engine.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -54,7 +54,11 @@ from ..core.framework import SLOW, PeerLike
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
 from .context import QueryContext, QueryResult
+from .detector import FailureDetector
 from .eventsim import EventSimulator, _Invocation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from ..overlays.replication import ReplicaDirectory
 
 __all__ = ["FaultPlan", "region_volume", "resilient_ripple"]
 
@@ -86,6 +90,9 @@ class FaultPlan:
         watchdog_base: int = 8,
         max_watchdogs: int = 24,
         max_reroute_depth: int = 2,
+        heartbeat_period: int = 4,
+        suspect_after: int = 1,
+        dead_after: int = 2,
     ) -> None:
         if not 0.0 <= drop_prob < 1.0:
             raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
@@ -108,6 +115,12 @@ class FaultPlan:
         self.watchdog_base = watchdog_base
         self.max_watchdogs = max_watchdogs
         self.max_reroute_depth = max_reroute_depth
+        #: Failure-detector knobs (see :mod:`repro.net.detector`): probe
+        #: period and how many consecutive missed probes mark a peer
+        #: SUSPECT respectively DEAD.
+        self.heartbeat_period = heartbeat_period
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
         #: Peers exempt from every fault (e.g. the query initiator: a
         #: client does not crash-stop its own query).
         self.protected: set[Hashable] = set()
@@ -229,6 +242,7 @@ def resilient_ripple(
     *,
     restriction: Region,
     faults: FaultPlan | None = None,
+    replicas: "ReplicaDirectory | None" = None,
     max_events: int | None = None,
 ) -> QueryResult:
     """Run Algorithm 3 through the fault-supervised event-driven engine.
@@ -239,6 +253,18 @@ def resilient_ripple(
     protected from crashing — a client does not crash-stop its own query.
     Degraded executions terminate with partial answers; inspect
     ``result.stats.completeness`` and the fault counters.
+
+    ``replicas`` (a :class:`~repro.overlays.replication.ReplicaDirectory`)
+    enables self-healing: the directory is refreshed against the overlay,
+    a heartbeat :class:`~repro.net.detector.FailureDetector` runs for the
+    duration of the query (patching links of detector-confirmed-dead
+    peers), and restriction regions stranded on crashed peers are
+    re-issued against promoted replica holders instead of being abandoned
+    — so whenever every crashed peer has at least one live replica, the
+    query returns the *exact* fault-free answer with completeness 1.0
+    (counted in ``stats.regions_recovered`` / ``stats.replica_reads``).
+    With a zero-fault plan the detector never starts and the execution
+    stays bit-identical to the fault-free engines, replicas or not.
 
     Runs the context in non-strict mode: fault recovery implies
     at-least-once delivery, so duplicate visits are deduplicated (their
@@ -251,9 +277,27 @@ def resilient_ripple(
         EventSimulator(faults=plan, max_events=max_events)
     ctx = QueryContext(strict=False)
     ctx.restriction_volume = region_volume(restriction)
+    sim.context = ctx
+    detector = None
+    if replicas is not None:
+        replicas.refresh()
+        sim.replicas = replicas
+        if plan.can_fail:
+            detector = FailureDetector(
+                sim, plan, (p.peer_id for p in replicas.owners()),
+                on_dead=lambda pid: replicas.repair(
+                    pid, lambda hid: plan.alive(hid, sim.now)),
+                on_alive=replicas.demote)
+            sim.detector = detector
+            detector.start()
+
+    def finish(states: list) -> None:
+        if detector is not None:
+            detector.stop()
+
     root = _Invocation(sim, ctx, handler, initiator,
                        handler.initial_state(), restriction,
-                       min(r, SLOW), initiator.peer_id, lambda states: None)
+                       min(r, SLOW), initiator.peer_id, finish)
     sim.schedule(0, root.start)
     sim.run()
     answer = handler.finalize(ctx.collected_answers)

@@ -6,12 +6,14 @@ from .chord import ChordOverlay, ChordPeer
 from .kdtree import Node, SplitTree
 from .midas import MidasOverlay, MidasPeer
 from .patterns import alive_patterns, matches_any_pattern
+from .replication import PromotedPeer, ReplicaDirectory
 from .superpeer import SuperPeer, SuperPeerNetwork, SuperPeerNode
 from .zcurve import ZCurve
 
 __all__ = [
     "Adjacency", "BatonOverlay", "BatonPeer", "CanOverlay", "CanPeer",
     "ChordOverlay", "ChordPeer", "MidasOverlay", "MidasPeer", "Node",
-    "SplitTree", "SuperPeer", "SuperPeerNetwork", "SuperPeerNode",
-    "ZCurve", "alive_patterns", "matches_any_pattern",
+    "PromotedPeer", "ReplicaDirectory", "SplitTree", "SuperPeer",
+    "SuperPeerNetwork", "SuperPeerNode", "ZCurve", "alive_patterns",
+    "matches_any_pattern",
 ]

@@ -27,7 +27,7 @@ from typing import Iterator, Literal, Sequence
 import numpy as np
 
 from ..common.geometry import Frustum, Point, Rect
-from ..common.store import LocalStore
+from ..common.store import LocalStore, Replica
 from ..core.framework import Link
 from ..core.regions import FrustumRegion, RectRegion, domain_region
 from .kdtree import Node, SplitTree
@@ -56,7 +56,7 @@ class CanPeer:
     """A CAN peer: one zone plus links to all face-adjacent zones."""
 
     __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor", "alive",
-                 "_neighbors", "_links")
+                 "replicas", "_neighbors", "_links")
 
     def __init__(self, peer_id: int, overlay: "CanOverlay", leaf: Node,
                  anchor: Point):
@@ -67,6 +67,9 @@ class CanPeer:
         self.anchor = anchor
         #: Liveness flag for fault scenarios (see FaultPlan.from_overlay).
         self.alive = True
+        #: Replicas of other peers' stores hosted here, keyed by owner id;
+        #: maintained by :class:`~repro.overlays.replication.ReplicaDirectory`.
+        self.replicas: dict[int, "Replica"] = {}
         self._neighbors: tuple[int, list[Adjacency]] | None = None
         self._links: tuple[int, list[Link]] | None = None
 
@@ -255,6 +258,36 @@ class CanOverlay:
 
     def total_tuples(self) -> int:
         return sum(len(peer.store) for peer in self._peers)
+
+    # -- replication --------------------------------------------------------
+
+    def replica_targets(self, peer: CanPeer, count: int) -> list[CanPeer]:
+        """Zone-neighbor replication: copies on face-adjacent peers.
+
+        CAN's takeover protocol hands a failed zone to one of its
+        neighbors, so mirroring onto the (deterministically ordered)
+        neighbor list puts the data exactly where the takeover happens.
+        Zones with fewer neighbors than ``count`` widen one ring out to
+        neighbors-of-neighbors.
+        """
+        if count <= 0:
+            return []
+        ring = sorted({adj.peer.peer_id: adj.peer
+                       for adj in peer.neighbors()}.values(),
+                      key=lambda p: p.peer_id)
+        chosen = ring[:count]
+        if len(chosen) < count:
+            seen = {peer.peer_id, *(p.peer_id for p in chosen)}
+            for neighbor in ring:
+                for adj in neighbor.neighbors():
+                    second = adj.peer
+                    if second.peer_id in seen:
+                        continue
+                    seen.add(second.peer_id)
+                    chosen.append(second)
+                    if len(chosen) == count:
+                        return chosen
+        return chosen
 
     # -- adjacency ----------------------------------------------------------
 

@@ -23,7 +23,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..common.geometry import Interval
-from ..common.store import LocalStore
+from ..common.store import LocalStore, Replica
 from ..core.framework import Link
 from ..core.regions import ArcRegion, RectRegion, domain_region
 from ..common.hashing import mix
@@ -34,7 +34,8 @@ __all__ = ["ChordPeer", "ChordOverlay"]
 class ChordPeer:
     """A Chord peer: a ring id, the arc up to its successor, fingers."""
 
-    __slots__ = ("peer_id", "overlay", "ring_id", "store", "alive", "_links")
+    __slots__ = ("peer_id", "overlay", "ring_id", "store", "alive",
+                 "replicas", "_links")
 
     def __init__(self, peer_id: int, overlay: "ChordOverlay", ring_id: float):
         self.peer_id = peer_id
@@ -43,6 +44,9 @@ class ChordPeer:
         self.store = LocalStore(1)
         #: Liveness flag for fault scenarios (see FaultPlan.from_overlay).
         self.alive = True
+        #: Replicas of other peers' stores hosted here, keyed by owner id;
+        #: maintained by :class:`~repro.overlays.replication.ReplicaDirectory`.
+        self.replicas: dict[int, "Replica"] = {}
         self._links: tuple[int, list[Link]] | None = None
 
     @property
@@ -153,6 +157,21 @@ class ChordOverlay:
 
     def total_tuples(self) -> int:
         return sum(len(p.store) for p in self._peers)
+
+    # -- replication -----------------------------------------------------------------
+
+    def replica_targets(self, peer: ChordPeer, count: int) -> list[ChordPeer]:
+        """Successor-list replication: the next ``count`` peers clockwise.
+
+        The classic Chord discipline — a peer's data is mirrored on its
+        successor list, so when it fails the immediate successor (which
+        takes over the arc by ring stitching) already holds the tuples.
+        """
+        if count <= 0 or len(self._peers) <= 1:
+            return []
+        index = self._peers.index(peer)
+        return [self._peers[(index + step) % len(self._peers)]
+                for step in range(1, min(count, len(self._peers) - 1) + 1)]
 
     # -- fingers --------------------------------------------------------------------
 

@@ -23,13 +23,14 @@ when the sibling is not a leaf — the replacement scheme of the MIDAS paper.
 
 from __future__ import annotations
 
+from itertools import zip_longest
 from typing import Iterator, Literal, Sequence
 
 import numpy as np
 
 from ..common.geometry import Point, Rect
 from ..common.hashing import mix, path_key
-from ..common.store import LocalStore
+from ..common.store import LocalStore, Replica
 from ..core.framework import Link
 from ..core.regions import RectRegion, domain_region
 from .kdtree import Node, SplitTree
@@ -46,7 +47,7 @@ class MidasPeer:
     """A MIDAS peer: one leaf of the virtual k-d tree."""
 
     __slots__ = ("peer_id", "overlay", "leaf", "store", "anchor", "alive",
-                 "_links")
+                 "replicas", "_links")
 
     def __init__(self, peer_id: int, overlay: "MidasOverlay", leaf: Node,
                  anchor: Point):
@@ -58,6 +59,9 @@ class MidasPeer:
         #: Liveness flag for fault scenarios; FaultPlan.from_overlay freezes
         #: these into a crash schedule.  Fault-free engines ignore it.
         self.alive = True
+        #: Replicas of other peers' stores hosted here, keyed by owner id;
+        #: maintained by :class:`~repro.overlays.replication.ReplicaDirectory`.
+        self.replicas: dict[int, "Replica"] = {}
         self._links: tuple[int, list[Link]] | None = None
 
     @property
@@ -259,6 +263,34 @@ class MidasOverlay:
 
     def total_tuples(self) -> int:
         return sum(len(peer.store) for peer in self._peers)
+
+    # -- replication --------------------------------------------------------
+
+    def replica_targets(self, peer: MidasPeer, count: int) -> list[MidasPeer]:
+        """Structural replica buddies: peers of ``peer``'s sibling subtrees.
+
+        Candidates are interleaved across the sibling subtrees nearest
+        first, so the first copy lands on the MIDAS merge partner (the
+        peer that would absorb ``peer``'s zone on departure — it can take
+        the zone over with the data already in hand) and further copies
+        land in structurally distinct branches of the virtual tree,
+        surviving subtree-local failures.
+        """
+        if count <= 0:
+            return []
+        pools = [[leaf.payload for leaf in self.tree.iter_leaves(subtree)]
+                 for subtree in reversed(self.tree.sibling_subtrees(peer.leaf))]
+        chosen: list[MidasPeer] = []
+        seen = {peer.peer_id}
+        for tier in zip_longest(*pools):
+            for buddy in tier:
+                if buddy is None or buddy.peer_id in seen:
+                    continue
+                seen.add(buddy.peer_id)
+                chosen.append(buddy)
+                if len(chosen) == count:
+                    return chosen
+        return chosen
 
     # -- link targets -------------------------------------------------------
 

@@ -1,0 +1,155 @@
+"""Heartbeat failure detector: state machine, incarnations, determinism."""
+
+import math
+
+import pytest
+
+from repro.net.detector import ALIVE, DEAD, SUSPECT, FailureDetector
+from repro.net.eventsim import EventSimulator
+from repro.net.faults import FaultPlan
+
+
+def run_until(sim, horizon):
+    """Drain events up to ``horizon`` by scheduling a stop marker."""
+    sim.schedule(horizon, lambda: None)
+    deadline = sim.now + horizon
+
+    class _Stop(Exception):
+        pass
+
+    def guard():
+        raise _Stop
+
+    sim.schedule(horizon, guard)
+    try:
+        sim.run()
+    except _Stop:
+        pass
+
+
+class TestStateMachine:
+    def test_crashed_peer_walks_suspect_then_dead(self):
+        plan = FaultPlan(crashes={"w": [(0, math.inf)]})
+        sim = EventSimulator(faults=plan)
+        transitions = []
+        detector = FailureDetector(sim, plan, ["w", "x"],
+                                   on_dead=lambda pid: transitions.append(pid))
+        detector.start()
+        run_until(sim, 3 * plan.heartbeat_period + 1)
+        assert detector.status("w") == DEAD
+        assert detector.is_dead("w")
+        assert detector.status("x") == ALIVE
+        assert transitions == ["w"]
+        assert detector.probes > 0
+
+    def test_suspect_precedes_dead(self):
+        plan = FaultPlan(crashes={"w": [(0, math.inf)]},
+                         suspect_after=1, dead_after=3)
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["w"])
+        detector.start()
+        run_until(sim, plan.heartbeat_period + 1)
+        assert detector.status("w") == SUSPECT
+        run_until(sim, 2 * plan.heartbeat_period + 1)
+        assert detector.status("w") == DEAD
+
+    def test_recovery_fires_on_alive(self):
+        plan = FaultPlan(crashes={"w": [(0, 20)]}, heartbeat_period=4,
+                         dead_after=2)
+        sim = EventSimulator(faults=plan)
+        revived = []
+        detector = FailureDetector(sim, plan, ["w"],
+                                   on_alive=lambda pid: revived.append(pid))
+        detector.start()
+        run_until(sim, 40)
+        assert detector.status("w") == ALIVE
+        assert revived == ["w"]
+
+    def test_incarnation_bump_reports_rebirth(self):
+        # Down only between probes: the detector never sees the outage,
+        # but the incarnation counter moved, so a prior suspicion clears.
+        plan = FaultPlan(crashes={"w": [(5, 7)]}, heartbeat_period=4,
+                         suspect_after=1, dead_after=99)
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["w"])
+        detector.start()
+        run_until(sim, 20)
+        assert detector.status("w") == ALIVE
+        assert detector._incarnations["w"] == 1
+
+    def test_unmonitored_peers_read_alive(self):
+        plan = FaultPlan.none()
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["a"])
+        assert detector.status("zzz") == ALIVE
+        assert not detector.is_dead("zzz")
+
+
+class TestLifecycle:
+    def test_protected_peers_are_not_probed(self):
+        plan = FaultPlan(crashes={"w": [(0, math.inf)]})
+        plan.protect("w")
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["w", "x"])
+        assert detector.peer_ids == ["x"]
+
+    def test_stop_drains_the_queue(self):
+        plan = FaultPlan.none()
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["a", "b"])
+        detector.start()
+        sim.schedule(3 * plan.heartbeat_period, detector.stop)
+        sim.run()  # terminates: the stopped sweep does not reschedule
+        # the stop fires before the same-timestamp third sweep (FIFO order),
+        # so exactly two sweeps of two peers each probed
+        assert detector.probes == 2 * 2
+
+    def test_start_is_idempotent(self):
+        plan = FaultPlan.none()
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["a"])
+        detector.start()
+        detector.start()  # must not double-schedule sweeps
+        sim.schedule(plan.heartbeat_period, detector.stop)
+        sim.run()
+        assert detector.probes == 1
+
+    def test_knob_validation(self):
+        plan = FaultPlan.none()
+        sim = EventSimulator(faults=plan)
+        with pytest.raises(ValueError, match="period"):
+            FailureDetector(sim, plan, [], period=0)
+        with pytest.raises(ValueError, match="suspect_after"):
+            FailureDetector(sim, plan, [], suspect_after=3, dead_after=2)
+
+
+class TestDeterminism:
+    def test_no_message_ids_consumed_on_reliable_networks(self):
+        """With drop_prob == 0 probing must not disturb the fault draws of
+        the query traffic sharing the simulator (bit-identity guarantee)."""
+        plan = FaultPlan(crashes={"w": [(0, math.inf)]})
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, ["w", "x", "y"])
+        detector.start()
+        run_until(sim, 5 * plan.heartbeat_period + 1)
+        assert sim.new_message_id() == 0
+
+    def test_lossy_probes_can_falsely_suspect(self):
+        plan = FaultPlan(seed=2, drop_prob=0.6, heartbeat_period=4,
+                         suspect_after=1, dead_after=99)
+        sim = EventSimulator(faults=plan)
+        detector = FailureDetector(sim, plan, [f"p{i}" for i in range(10)])
+        detector.start()
+        run_until(sim, 3 * plan.heartbeat_period + 1)
+        suspected = [pid for pid in detector.peer_ids
+                     if detector.status(pid) == SUSPECT]
+        assert suspected  # heavy loss: some live peer was suspected
+        run_until(sim, 40 * plan.heartbeat_period)
+        # eventual accuracy: every suspicion keeps being corrected (the
+        # miss counters reset on each successful probe), and with
+        # dead_after out of reach no live peer is ever declared dead
+        assert all(not detector.is_dead(pid) for pid in detector.peer_ids)
+        assert all(misses < plan.dead_after
+                   for misses in detector._misses.values())
+        assert any(detector.status(pid) == ALIVE
+                   for pid in detector.peer_ids)

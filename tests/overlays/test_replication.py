@@ -1,0 +1,204 @@
+"""Replica placement and the ReplicaDirectory lifecycle.
+
+Placement must follow each overlay's structural discipline (MIDAS sibling
+buddies, Chord successor lists, CAN face neighbors), never replicate a
+peer onto itself, and stay consistent through churn (epoch-driven
+reinstall) and data mutation (version-driven re-snapshot).  Promotion
+must hand out a PeerLike stand-in that impersonates the dead owner.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (CanOverlay, ChordOverlay, MidasOverlay, PromotedPeer,
+                   ReplicaDirectory, physical_id)
+from repro.common.store import LocalStore, Replica
+
+
+def build(kind, seed=3, peers=24, tuples=200):
+    rng = np.random.default_rng(seed)
+    if kind == "chord":
+        overlay = ChordOverlay(size=peers, seed=seed)
+        overlay.load(rng.random((tuples, 1)) * 0.999)
+        return overlay
+    cls = MidasOverlay if kind == "midas" else CanOverlay
+    kwargs = {"join_policy": "data"} if kind == "midas" else {}
+    overlay = cls(2, size=1, seed=seed, **kwargs)
+    overlay.load(rng.random((tuples, 2)) * 0.999)
+    overlay.grow_to(peers)
+    return overlay
+
+
+OVERLAYS = ("midas", "chord", "can")
+
+
+class TestReplicaTargets:
+    @pytest.mark.parametrize("kind", OVERLAYS)
+    @pytest.mark.parametrize("count", (1, 2, 3))
+    def test_targets_distinct_and_never_self(self, kind, count):
+        overlay = build(kind)
+        for peer in overlay.peers():
+            targets = overlay.replica_targets(peer, count)
+            ids = [t.peer_id for t in targets]
+            assert peer.peer_id not in ids
+            assert len(ids) == len(set(ids))
+            assert len(targets) <= count
+
+    @pytest.mark.parametrize("kind", OVERLAYS)
+    def test_enough_targets_on_large_networks(self, kind):
+        overlay = build(kind)
+        for peer in overlay.peers():
+            assert len(overlay.replica_targets(peer, 2)) == 2
+
+    @pytest.mark.parametrize("kind", OVERLAYS)
+    def test_zero_count_is_empty(self, kind):
+        overlay = build(kind)
+        peer = overlay.peers()[0]
+        assert overlay.replica_targets(peer, 0) == []
+
+    def test_chord_uses_successor_list(self):
+        overlay = build("chord")
+        peers = list(overlay.peers())  # sorted by ring_id
+        for index, peer in enumerate(peers):
+            targets = overlay.replica_targets(peer, 2)
+            assert targets[0] is peers[(index + 1) % len(peers)]
+            assert targets[1] is peers[(index + 2) % len(peers)]
+
+    def test_midas_prefers_nearest_sibling_subtree(self):
+        overlay = build("midas")
+        for peer in overlay.peers():
+            target = overlay.replica_targets(peer, 1)[0]
+            nearest = overlay.tree.sibling_subtrees(peer.leaf)[-1]
+            nearest_ids = {leaf.payload.peer_id
+                           for leaf in overlay.tree.iter_leaves(nearest)}
+            assert target.peer_id in nearest_ids
+
+    def test_can_targets_are_neighbors(self):
+        overlay = build("can")
+        for peer in overlay.peers():
+            neighbor_ids = {adj.peer.peer_id for adj in peer.neighbors()}
+            for target in overlay.replica_targets(peer, 1):
+                assert target.peer_id in neighbor_ids
+
+
+class TestReplica:
+    def test_snapshot_and_refresh(self):
+        owner = LocalStore(2, [(0.1, 0.2), (0.3, 0.4)])
+        replica = Replica("w", owner)
+        assert len(replica.store) == 2
+        assert replica.version == owner.version
+        assert not replica.refresh(owner)  # up to date: no copy
+        owner.insert((0.5, 0.6))
+        assert replica.refresh(owner)
+        assert len(replica.store) == 3
+        np.testing.assert_array_equal(replica.store.array, owner.array)
+
+    def test_replica_store_is_private(self):
+        owner = LocalStore(2, [(0.1, 0.2)])
+        replica = Replica("w", owner)
+        replica.store.insert((0.9, 0.9))
+        assert len(owner) == 1  # scribbling on the mirror never leaks back
+
+
+class TestReplicaDirectory:
+    @pytest.mark.parametrize("kind", OVERLAYS)
+    def test_install_mirrors_every_tuple(self, kind):
+        overlay = build(kind)
+        directory = ReplicaDirectory(overlay, copies=2)
+        for peer in overlay.peers():
+            for holder in directory.holders(peer.peer_id):
+                replica = holder.replicas[peer.peer_id]
+                np.testing.assert_array_equal(replica.store.array,
+                                              peer.store.array)
+
+    def test_negative_copies_rejected(self):
+        with pytest.raises(ValueError, match="replication degree"):
+            ReplicaDirectory(build("chord"), copies=-1)
+
+    def test_refresh_tracks_data_mutation(self):
+        overlay = build("chord")
+        directory = ReplicaDirectory(overlay, copies=1)
+        peer = overlay.peers()[0]
+        peer.store.insert((0.123456,))
+        holder = directory.holders(peer.peer_id)[0]
+        assert len(holder.replicas[peer.peer_id].store) == len(peer.store) - 1
+        directory.refresh()
+        np.testing.assert_array_equal(
+            holder.replicas[peer.peer_id].store.array, peer.store.array)
+
+    @pytest.mark.parametrize("kind", OVERLAYS)
+    def test_refresh_reinstalls_after_churn(self, kind):
+        overlay = build(kind)
+        directory = ReplicaDirectory(overlay, copies=1)
+        overlay.grow_to(len(overlay.peers()) + 3)
+        directory.refresh()
+        for peer in overlay.peers():
+            for holder in directory.holders(peer.peer_id):
+                np.testing.assert_array_equal(
+                    holder.replicas[peer.peer_id].store.array,
+                    peer.store.array)
+
+    def test_promote_impersonates_owner(self):
+        overlay = build("midas")
+        directory = ReplicaDirectory(overlay, copies=2)
+        owner = overlay.peers()[0]
+        promoted = directory.promote(owner.peer_id, lambda pid: True)
+        assert isinstance(promoted, PromotedPeer)
+        assert promoted.peer_id == owner.peer_id
+        assert physical_id(promoted) != owner.peer_id
+        np.testing.assert_array_equal(promoted.store.array, owner.store.array)
+        # the stand-in coordinates with the dead owner's link table
+        assert [ln.peer.peer_id for ln in promoted.links()] \
+            == [ln.peer.peer_id for ln in owner.links()]
+
+    def test_promote_skips_dead_and_excluded_holders(self):
+        overlay = build("chord")
+        directory = ReplicaDirectory(overlay, copies=2)
+        owner = overlay.peers()[0]
+        first, second = directory.holders(owner.peer_id)
+        promoted = directory.promote(owner.peer_id,
+                                     lambda pid: pid != first.peer_id)
+        assert promoted.physical_id == second.peer_id
+        promoted = directory.promote(owner.peer_id, lambda pid: True,
+                                     exclude=frozenset({first.peer_id}))
+        assert promoted.physical_id == second.peer_id
+        assert directory.promote(
+            owner.peer_id, lambda pid: True,
+            exclude=frozenset({first.peer_id, second.peer_id})) is None
+
+    def test_promote_unknown_owner_is_none(self):
+        directory = ReplicaDirectory(build("chord"), copies=1)
+        assert directory.promote("nope", lambda pid: True) is None
+
+    def test_repair_pins_takeover_and_demote_unpins(self):
+        overlay = build("chord")
+        directory = ReplicaDirectory(overlay, copies=2)
+        owner = overlay.peers()[0]
+        first, second = directory.holders(owner.peer_id)
+        # repair with the first holder dead pins the second
+        pinned = directory.repair(owner.peer_id,
+                                  lambda pid: pid != first.peer_id)
+        assert pinned is second
+        # ... and promote converges on the pinned holder even when the
+        # first is (again) live
+        assert directory.promote(owner.peer_id,
+                                 lambda pid: True).physical_id \
+            == second.peer_id
+        directory.demote(owner.peer_id)
+        assert directory.promote(owner.peer_id,
+                                 lambda pid: True).physical_id \
+            == first.peer_id
+
+    def test_repair_with_no_live_holder_is_none(self):
+        overlay = build("chord")
+        directory = ReplicaDirectory(overlay, copies=1)
+        owner = overlay.peers()[0]
+        assert directory.repair(owner.peer_id, lambda pid: False) is None
+
+    def test_zero_copies_never_promotes(self):
+        overlay = build("midas")
+        directory = ReplicaDirectory(overlay, copies=0)
+        for peer in overlay.peers():
+            assert directory.holders(peer.peer_id) == []
+            assert not peer.replicas
+            assert directory.promote(peer.peer_id, lambda pid: True) is None
