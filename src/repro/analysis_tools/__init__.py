@@ -1,0 +1,28 @@
+"""Static-analysis tooling for the RIPPLE reproduction codebase.
+
+The load-bearing invariants of this repo — bit-identical deterministic
+replay under seeded :class:`~repro.net.faults.FaultPlan` schedules,
+version-keyed :class:`~repro.common.store.LocalStore` caching, and the
+overlay/handler protocol conformance that makes Algorithms 1-3 evaluate
+identically over MIDAS, Chord, and CAN — are cheap to break silently and
+expensive to debug from a flaky simulation.  :mod:`.ripplelint` rejects
+the known-dangerous patterns *before* a simulation ever runs; see
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+
+Run it as ``python -m repro.analysis_tools.ripplelint src/`` or through
+the ``tools/ripplelint`` wrapper.
+"""
+
+from typing import Any
+
+__all__ = ["ripplelint"]
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy import (PEP 562): lets ``python -m repro.analysis_tools.
+    # ripplelint`` execute the submodule exactly once instead of
+    # importing it eagerly here and re-executing it under runpy.
+    if name in __all__:
+        import importlib
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,851 @@
+"""``ripplelint``: AST-based invariant checks specific to this codebase.
+
+Generic linters cannot know that an unseeded ``random`` call silently
+breaks deterministic replay, or that writing ``store._size`` bypasses the
+version counter the computation cache hangs off.  Each rule here encodes
+one such repo-specific invariant (the PR that introduced it is recorded
+in ``docs/STATIC_ANALYSIS.md``):
+
+==========  ===========================================================
+rule        invariant
+==========  ===========================================================
+``RPL001``  no unseeded randomness inside ``src/repro`` (replay)
+``RPL002``  no wall-clock reads outside a ``_wallclock`` helper
+``RPL003``  no access to ``LocalStore`` internals outside the store
+``RPL004``  ``QueryHandler`` subclasses implement the full protocol
+``RPL005``  churn-capable overlays honor the replication contract
+``RPL006``  no mutable default arguments, no bare ``except``
+``RPL007``  no exact float equality on computed kernel expressions
+``RPL008``  ``__all__`` is present in packages and every name resolves
+``RPL009``  ``# type: ignore`` must be narrow and carry a justification
+==========  ===========================================================
+
+Findings print as ``path:line:col: RPLxxx message`` (or as GitHub
+problem-matcher ``::error`` lines with ``--format github``) and the
+process exits non-zero when any finding survives.  A finding is
+suppressed by a targeted comment on the offending line::
+
+    value = time.time()  # ripplelint: disable=RPL002 -- profiling only
+
+Suppressions name explicit rule ids; there is no blanket opt-out.
+
+Usage::
+
+    python -m repro.analysis_tools.ripplelint src/
+    python -m repro.analysis_tools.ripplelint --list-rules
+    tools/ripplelint --format github src/
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = ["Finding", "ParsedModule", "RULES", "lint_paths", "lint_source",
+           "main"]
+
+
+# ---------------------------------------------------------------------------
+# Infrastructure
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "github":
+            # GitHub Actions problem-matcher format: annotates the file
+            # and line directly on the PR diff.
+            return (f"::error file={self.path},line={self.line},"
+                    f"col={self.col}::{self.rule} {self.message}")
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+_SUPPRESS_RE = re.compile(r"#\s*ripplelint:\s*disable=([A-Z0-9, ]+)")
+
+
+def _scan_comments(source: str) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps string
+    literals and docstrings that merely *mention* a comment marker —
+    like this module's own rule documentation — out of RPL009 and out
+    of the suppression scanner.
+    """
+    comments: list[tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse ran first
+        pass
+    return comments
+
+
+def _logical_package(posix_path: str) -> str:
+    """Path from the ``repro`` package root, or the plain path outside it."""
+    parts = posix_path.split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return posix_path
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file plus the metadata rules need.
+
+    ``package`` is the module's path expressed from the ``repro`` package
+    root (e.g. ``repro/net/eventsim.py``) so that rule scoping works the
+    same whether the linter scans ``src/``, a single file, or a test
+    fixture tree.  Files outside a ``repro`` package keep their plain
+    relative path.
+    """
+
+    path: str
+    package: str
+    tree: ast.Module
+    comments: list[tuple[int, int, str]]
+    suppressed: dict[int, frozenset[str]]
+
+    @classmethod
+    def from_source(cls, source: str, *, path: str) -> "ParsedModule":
+        tree = ast.parse(source, filename=path)
+        comments = _scan_comments(source)
+        suppressed: dict[int, frozenset[str]] = {}
+        for line, _col, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                suppressed[line] = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip())
+        return cls(path=path, package=_logical_package(path), tree=tree,
+                   comments=comments, suppressed=suppressed)
+
+    @classmethod
+    def parse(cls, path: Path) -> "ParsedModule":
+        return cls.from_source(path.read_text(encoding="utf-8"),
+                               path=path.as_posix())
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressed.get(line, frozenset())
+
+
+Checker = Callable[[ParsedModule], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lintable invariant: an id, a one-line summary, a checker."""
+
+    id: str
+    summary: str
+    check: Checker
+
+
+def _finding(module: ParsedModule, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(path=module.path, line=node.lineno,
+                   col=node.col_offset + 1, rule=rule, message=message)
+
+
+def _in_scope(module: ParsedModule, prefixes: tuple[str, ...]) -> bool:
+    return any(module.package == p or module.package.startswith(p + "/")
+               for p in prefixes)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _walk_with_function_stack(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Yield ``(node, enclosing_function_names)`` in document order."""
+    stack: list[tuple[ast.AST, tuple[str, ...]]] = [(tree, ())]
+    while stack:
+        node, functions = stack.pop()
+        yield node, functions
+        inner = functions
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = functions + (node.name,)
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, inner))
+
+
+# ---------------------------------------------------------------------------
+# RPL001 -- unseeded randomness breaks deterministic replay
+# ---------------------------------------------------------------------------
+
+#: ``np.random`` members that merely *construct* seeded generators.
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "Philox", "SFC64", "MT19937",
+})
+
+
+def _check_rpl001(module: ParsedModule) -> Iterator[Finding]:
+    """RPL001: no unseeded randomness in ``src/repro``.
+
+    Replay under a seeded ``FaultPlan`` is bit-identical only while every
+    random draw flows from an explicitly seeded ``np.random.Generator``
+    (threaded through constructors) or :func:`repro.common.hashing.mix`.
+    The process-global ``random`` module and the legacy ``np.random.<fn>``
+    module-level draws are hidden global state and are banned outright.
+    """
+    if not _in_scope(module, ("repro",)):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield _finding(
+                        module, node, "RPL001",
+                        "import of the process-global 'random' module; "
+                        "thread a seeded np.random.Generator instead")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield _finding(
+                    module, node, "RPL001",
+                    "import from the process-global 'random' module; "
+                    "thread a seeded np.random.Generator instead")
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (len(parts) == 3 and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _NP_RANDOM_ALLOWED):
+                yield _finding(
+                    module, node, "RPL001",
+                    f"legacy global-state draw '{dotted}'; use a seeded "
+                    "np.random.default_rng(...) generator")
+
+
+# ---------------------------------------------------------------------------
+# RPL002 -- wall-clock reads where virtual time rules
+# ---------------------------------------------------------------------------
+
+_TIME_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+})
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: The single sanctioned wall-clock shim: a module-private helper named
+#: ``_wallclock`` whose body is the only place the rule permits real
+#: clock reads (see ``repro/experiments/__main__.py``).
+_WALLCLOCK_HELPER = "_wallclock"
+
+
+def _check_rpl002(module: ParsedModule) -> Iterator[Finding]:
+    """RPL002: no wall-clock reads outside a ``_wallclock`` helper.
+
+    Simulation code (``core/``, ``net/``, ``overlays/``, ``queries/``)
+    runs on virtual time — ``EventSimulator.now`` and hop counts — so a
+    real clock read is always a bug there.  The one legitimate consumer
+    (experiment progress reporting) must route through a module-private
+    ``_wallclock()`` helper, which keeps every real clock read greppable
+    and explicitly allowlisted.
+    """
+    if not _in_scope(module, ("repro",)):
+        return
+    for node, functions in _walk_with_function_stack(module.tree):
+        if _WALLCLOCK_HELPER in functions:
+            continue
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FNS:
+                    yield _finding(
+                        module, node, "RPL002",
+                        f"wall-clock import 'from time import {alias.name}'; "
+                        "simulation code runs on virtual time "
+                        f"(route real timing through {_WALLCLOCK_HELPER}())")
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        if parts[0] == "time" and len(parts) == 2 and parts[1] in _TIME_FNS:
+            yield _finding(
+                module, node, "RPL002",
+                f"wall-clock read '{dotted}()'; simulation code runs on "
+                f"virtual time (route real timing through "
+                f"{_WALLCLOCK_HELPER}())")
+        elif (parts[-1] in _DATETIME_FNS and len(parts) >= 2
+                and "datetime" in parts[:-1]):
+            yield _finding(
+                module, node, "RPL002",
+                f"wall-clock read '{dotted}()'; simulation code runs on "
+                f"virtual time (route real timing through "
+                f"{_WALLCLOCK_HELPER}())")
+
+
+# ---------------------------------------------------------------------------
+# RPL003 -- out-of-band LocalStore mutation defeats cache invalidation
+# ---------------------------------------------------------------------------
+
+_STORE_FIELDS = frozenset({"_buf", "_size", "_version", "_cache"})
+_STORE_METHODS = frozenset({"_invalidate", "_reserve", "_score_index"})
+_STORE_MODULE = "repro/common/store.py"
+
+
+def _check_rpl003(module: ParsedModule) -> Iterator[Finding]:
+    """RPL003: no access to ``LocalStore`` internals outside the store.
+
+    Every mutation must bump ``LocalStore.version`` (which drops the
+    version-keyed computation cache and invalidates replicas).  Touching
+    ``_buf``/``_size``/``_version``/``_cache`` — or calling the private
+    maintenance methods — from outside ``repro/common/store.py`` bypasses
+    that machinery and silently serves stale cached kernels.
+    """
+    if not _in_scope(module, ("repro",)) or module.package == _STORE_MODULE:
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _STORE_FIELDS:
+            yield _finding(
+                module, node, "RPL003",
+                f"access to LocalStore internal '{node.attr}' outside the "
+                "versioned mutation API; use insert/bulk_load/extract/"
+                "take_all (mutation) or array/cached (reads)")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _STORE_METHODS:
+                yield _finding(
+                    module, node, "RPL003",
+                    f"call to LocalStore private method '{func.attr}()' "
+                    "outside the store; cache consistency is the store's "
+                    "own job")
+
+
+# ---------------------------------------------------------------------------
+# RPL004 -- partial QueryHandler implementations fail at query time
+# ---------------------------------------------------------------------------
+
+#: Required protocol methods -> positional arity excluding ``self``
+#: (see ``repro/core/handler.py``; the table mirrors the paper's six
+#: abstract functions plus ``finalize``).
+_HANDLER_REQUIRED = {
+    "initial_state": 0,
+    "compute_local_state": 2,
+    "compute_global_state": 2,
+    "update_local_state": 1,
+    "compute_local_answer": 2,
+    "is_link_relevant": 2,
+    "link_priority": 1,
+    "finalize": 1,
+}
+#: Optional hooks with defaults in the ABC -> expected arity.
+_HANDLER_OPTIONAL = {
+    "neutral_local_state": 0,
+    "seed_satisfied": 1,
+    "probe_score": 1,
+    "answer_size": 1,
+}
+
+
+def _method_arity(fn: ast.FunctionDef) -> int | None:
+    """Positional arity excluding self, or None when *args absorbs any."""
+    if fn.args.vararg is not None:
+        return None
+    return len(fn.args.posonlyargs) + len(fn.args.args) - 1
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        if _dotted(base) in ("ABC", "abc.ABC"):
+            return True
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                if _dotted(decorator) in ("abstractmethod",
+                                          "abc.abstractmethod"):
+                    return True
+    return False
+
+
+def _check_rpl004(module: ParsedModule) -> Iterator[Finding]:
+    """RPL004: ``QueryHandler`` subclasses implement the full protocol.
+
+    The RIPPLE templates call the six abstract handler functions (plus
+    ``finalize``) dynamically, so a missing or mis-signatured method only
+    explodes once a query actually reaches it — possibly deep inside a
+    fault-injected simulation.  This rule checks presence and positional
+    arity of every protocol method at parse time.
+    """
+    if not _in_scope(module, ("repro",)):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(_dotted(base) in ("QueryHandler", "handler.QueryHandler")
+                   for base in node.bases):
+            continue
+        if _is_abstract(node):
+            continue
+        methods = {item.name: item for item in node.body
+                   if isinstance(item, ast.FunctionDef)}
+        for name, arity in _HANDLER_REQUIRED.items():
+            fn = methods.get(name)
+            if fn is None:
+                yield _finding(
+                    module, node, "RPL004",
+                    f"handler class '{node.name}' is missing protocol "
+                    f"method '{name}' (see repro/core/handler.py)")
+                continue
+            actual = _method_arity(fn)
+            if actual is not None and actual != arity:
+                yield _finding(
+                    module, fn, "RPL004",
+                    f"handler method '{node.name}.{name}' takes {actual} "
+                    f"positional argument(s), protocol expects {arity}")
+        for name, arity in _HANDLER_OPTIONAL.items():
+            fn = methods.get(name)
+            if fn is None:
+                continue
+            actual = _method_arity(fn)
+            if actual is not None and actual != arity:
+                yield _finding(
+                    module, fn, "RPL004",
+                    f"handler hook '{node.name}.{name}' takes {actual} "
+                    f"positional argument(s), protocol expects {arity}")
+
+
+# ---------------------------------------------------------------------------
+# RPL005 -- replication contract of churn-capable overlays
+# ---------------------------------------------------------------------------
+
+def _class_slots(cls: ast.ClassDef) -> frozenset[str] | None:
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__slots__" in targets and isinstance(
+                    node.value, (ast.Tuple, ast.List)):
+                return frozenset(
+                    element.value for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str))
+    return None
+
+
+def _check_rpl005(module: ParsedModule) -> Iterator[Finding]:
+    """RPL005: churn-capable overlays honor the replication contract.
+
+    ``ReplicaDirectory`` can only heal an overlay that (i) exposes
+    ``replica_targets(peer, count)`` for structural replica placement and
+    (ii) whose peers carry ``replicas`` and ``alive`` slots.  Any class
+    that declares a ``physical_id`` (split logical/physical identity)
+    must be fully ``PeerLike`` — ``peer_id``, ``store``, ``links`` — or
+    liveness checks through ``physical_id()`` silently dereference the
+    wrong machine.
+    """
+    if not _in_scope(module, ("repro/overlays",)):
+        return
+    classes = [node for node in ast.walk(module.tree)
+               if isinstance(node, ast.ClassDef)]
+    churny = []
+    for cls in classes:
+        methods = {item.name: item for item in cls.body
+                   if isinstance(item, ast.FunctionDef)}
+        if cls.name.endswith("Overlay") and \
+                ("join" in methods or "leave" in methods):
+            churny.append(cls)
+            fn = methods.get("replica_targets")
+            if fn is None:
+                yield _finding(
+                    module, cls, "RPL005",
+                    f"churn-capable overlay '{cls.name}' does not define "
+                    "replica_targets(peer, count); ReplicaDirectory cannot "
+                    "place copies, so crashed zones are unrecoverable")
+            else:
+                arity = _method_arity(fn)
+                if arity is not None and arity != 2:
+                    yield _finding(
+                        module, fn, "RPL005",
+                        f"'{cls.name}.replica_targets' takes {arity} "
+                        "positional argument(s), the replication contract "
+                        "expects (peer, count)")
+    if churny:
+        for cls in classes:
+            slots = _class_slots(cls)
+            if slots is None or "store" not in slots:
+                continue  # not a peer class
+            for needed in ("replicas", "alive"):
+                if needed not in slots:
+                    yield _finding(
+                        module, cls, "RPL005",
+                        f"peer class '{cls.name}' lacks the '{needed}' "
+                        "slot required by the replication/fault machinery")
+    for cls in classes:
+        slots = _class_slots(cls)
+        if slots is not None and "physical_id" in slots:
+            methods = {item.name for item in cls.body
+                       if isinstance(item, ast.FunctionDef)}
+            missing = [n for n in ("peer_id", "store")
+                       if n not in slots and n not in methods]
+            if "links" not in methods:
+                missing.append("links")
+            if missing:
+                yield _finding(
+                    module, cls, "RPL005",
+                    f"class '{cls.name}' declares 'physical_id' but lacks "
+                    f"{missing}; split-identity stand-ins must be fully "
+                    "PeerLike (see repro/overlays/replication.py)")
+
+
+# ---------------------------------------------------------------------------
+# RPL006 -- mutable defaults and bare except
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque",
+                            "defaultdict", "Counter", "OrderedDict"})
+
+
+def _check_rpl006(module: ParsedModule) -> Iterator[Finding]:
+    """RPL006: no mutable default arguments, no bare ``except``.
+
+    A mutable default is shared across every call — per-peer state would
+    leak between simulated peers.  A bare ``except`` swallows
+    ``DuplicateVisitError`` / ``SimulationBudgetExceeded`` and the other
+    loud invariant guards this codebase relies on failing fast.
+    """
+    if not _in_scope(module, ("repro",)):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                               ast.ListComp, ast.DictComp,
+                                               ast.SetComp))
+                if (not mutable and isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in _MUTABLE_CALLS):
+                    mutable = True
+                if mutable:
+                    name = getattr(node, "name", "<lambda>")
+                    yield _finding(
+                        module, default, "RPL006",
+                        f"mutable default argument in '{name}'; default to "
+                        "None (or an immutable sentinel) and materialize "
+                        "inside the function")
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield _finding(
+                module, node, "RPL006",
+                "bare 'except:' swallows simulator invariant errors; "
+                "catch the narrowest exception type instead")
+
+
+# ---------------------------------------------------------------------------
+# RPL007 -- exact float equality on computed kernel expressions
+# ---------------------------------------------------------------------------
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod,
+              ast.FloorDiv)
+_KERNEL_MODULES = ("repro/common/geometry.py", "repro/common/scoring.py",
+                   "repro/queries")
+
+
+def _check_rpl007(module: ParsedModule) -> Iterator[Finding]:
+    """RPL007: no ``==``/``!=`` against computed floats in kernel modules.
+
+    Coordinates and scores flow through sums, products, and distance
+    computations; comparing such an *expression* exactly collapses or
+    splits skyline/top-k ties depending on rounding (the kernels sort
+    with explicit tie-break keys for the same reason).  Comparing two
+    stored values (names, attributes) exactly is fine — zones tile the
+    domain with shared, bit-identical face coordinates.
+    """
+    if not _in_scope(module, _KERNEL_MODULES):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        for operand in (node.left, *node.comparators):
+            if isinstance(operand, ast.BinOp) and \
+                    isinstance(operand.op, _ARITH_OPS):
+                yield _finding(
+                    module, node, "RPL007",
+                    "exact ==/!= on an arithmetic expression in a kernel "
+                    "module; bind the value first and compare with an "
+                    "explicit tolerance (math.isclose) or restructure")
+                break
+
+
+# ---------------------------------------------------------------------------
+# RPL008 -- __all__ hygiene
+# ---------------------------------------------------------------------------
+
+def _bound_names(tree: ast.Module) -> tuple[set[str], bool]:
+    """Module-level bound names plus whether a PEP 562 __getattr__ exists.
+
+    Walks top-level statements including the branches of module-level
+    ``if``/``try`` blocks (``if TYPE_CHECKING:`` imports bind names for
+    the checker's purposes).
+    """
+    names: set[str] = set()
+    has_getattr = False
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+            if node.name == "__getattr__":
+                has_getattr = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+    return names, has_getattr
+
+
+def _literal_all(tree: ast.Module) -> tuple[ast.AST, list[str]] | None:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            names = [element.value for element in value.elts
+                     if isinstance(element, ast.Constant)
+                     and isinstance(element.value, str)]
+            return node, names
+        return node, []
+    return None
+
+
+def _check_rpl008(module: ParsedModule) -> Iterator[Finding]:
+    """RPL008: ``__all__`` is present in packages and every name resolves.
+
+    ``from repro.X import *`` must surface a deliberate public API:
+    every package ``__init__.py`` needs a docstring and an ``__all__``,
+    and each ``__all__`` entry must be bound at module level (modules
+    serving names lazily via a PEP 562 ``__getattr__`` are exempt from
+    the resolution check, not from the presence check).
+    """
+    if not _in_scope(module, ("repro",)):
+        return
+    declared = _literal_all(module.tree)
+    is_package = module.package.endswith("__init__.py")
+    if is_package:
+        if ast.get_docstring(module.tree) is None:
+            yield Finding(path=module.path, line=1, col=1, rule="RPL008",
+                          message="package __init__.py lacks a module "
+                                  "docstring describing its public API")
+        if declared is None:
+            yield Finding(path=module.path, line=1, col=1, rule="RPL008",
+                          message="package __init__.py lacks __all__; "
+                                  "star-imports must be deliberate")
+    if declared is None:
+        return
+    node, names = declared
+    bound, has_getattr = _bound_names(module.tree)
+    if has_getattr:
+        return
+    for name in names:
+        if name not in bound and name != "__version__":
+            yield _finding(
+                module, node, "RPL008",
+                f"__all__ names '{name}' which is not bound at module "
+                "level; star-imports of this module would fail")
+
+
+# ---------------------------------------------------------------------------
+# RPL009 -- type: ignore hygiene
+# ---------------------------------------------------------------------------
+
+_IGNORE_RE = re.compile(r"#\s*type:\s*ignore(?P<codes>\[[^\]]*\])?"
+                        r"(?P<trailer>.*)$")
+
+
+def _check_rpl009(module: ParsedModule) -> Iterator[Finding]:
+    """RPL009: ``# type: ignore`` must be narrow and carry a justification.
+
+    A blanket ignore suppresses every current and future error on the
+    line; an unexplained one rots.  Required shape::
+
+        x = f(y)  # type: ignore[arg-type]  # knobs forwarded verbatim
+
+    i.e. an explicit error-code list plus a trailing comment saying why
+    the checker is wrong (or why the dynamic idiom is intentional).
+    """
+    if not _in_scope(module, ("repro",)):
+        return
+    for number, col, text in module.comments:
+        match = _IGNORE_RE.search(text)
+        if match is None:
+            continue
+        if not match.group("codes"):
+            yield Finding(
+                path=module.path, line=number, col=col + match.start() + 1,
+                rule="RPL009",
+                message="blanket '# type: ignore' suppresses every error "
+                        "on the line; use '# type: ignore[code]' plus a "
+                        "justification comment")
+            continue
+        trailer = match.group("trailer").strip()
+        if not trailer.startswith("#") or len(trailer.lstrip("# ")) < 3:
+            yield Finding(
+                path=module.path, line=number, col=col + match.start() + 1,
+                rule="RPL009",
+                message="'# type: ignore[...]' without a justification; "
+                        "append '  # <why the checker is wrong here>'")
+
+
+# ---------------------------------------------------------------------------
+# Registry and driver
+# ---------------------------------------------------------------------------
+
+RULES: tuple[Rule, ...] = tuple(
+    Rule(id=rule_id, summary=(checker.__doc__ or "").strip().splitlines()[0],
+         check=checker)
+    for rule_id, checker in [
+        ("RPL001", _check_rpl001),
+        ("RPL002", _check_rpl002),
+        ("RPL003", _check_rpl003),
+        ("RPL004", _check_rpl004),
+        ("RPL005", _check_rpl005),
+        ("RPL006", _check_rpl006),
+        ("RPL007", _check_rpl007),
+        ("RPL008", _check_rpl008),
+        ("RPL009", _check_rpl009),
+    ]
+)
+
+
+def lint_module(module: ParsedModule,
+                rules: Sequence[Rule] = RULES) -> list[Finding]:
+    """All unsuppressed findings for one parsed module."""
+    findings = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return findings
+
+
+def lint_source(source: str, *, virtual_path: str,
+                rules: Sequence[Rule] = RULES) -> list[Finding]:
+    """Lint a source string as though it lived at ``virtual_path``.
+
+    The test-suite's fixture entry point: ``virtual_path`` determines
+    rule scoping exactly like a real file path would.
+    """
+    return lint_module(ParsedModule.from_source(source, path=virtual_path),
+                       rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Sequence[Rule] = RULES) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        if "egg-info" in path.as_posix():
+            continue
+        module = ParsedModule.parse(path)
+        findings.extend(lint_module(module, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis_tools.ripplelint",
+        description="AST-based invariant checks for the RIPPLE codebase")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="'github' emits ::error problem-matcher lines")
+    parser.add_argument("--rule", action="append", metavar="RPLxxx",
+                        help="restrict to specific rule ids (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+
+    rules: Sequence[Rule] = RULES
+    if args.rule:
+        wanted = set(args.rule)
+        unknown = wanted - {rule.id for rule in RULES}
+        if unknown:
+            parser.error(f"unknown rule id(s): {sorted(unknown)}")
+        rules = [rule for rule in RULES if rule.id in wanted]
+
+    findings = lint_paths(args.paths, rules)
+    for finding in findings:
+        print(finding.render(args.format))
+    if findings:
+        print(f"ripplelint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

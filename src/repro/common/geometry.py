@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - geometry stays NumPy-free at runtime
+    import numpy as np
 
 Point = tuple[float, ...]
 
@@ -209,7 +212,7 @@ class Rect:
         """
         return dominates(point, self.lo)
 
-    def sample(self, rng) -> Point:
+    def sample(self, rng: "np.random.Generator") -> Point:
         """A uniform random point of the box (``rng``: numpy Generator)."""
         return tuple(float(rng.uniform(l, h)) for l, h in zip(self.lo, self.hi))
 

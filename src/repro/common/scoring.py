@@ -55,7 +55,7 @@ class LinearScore(ScoringFunction):
     selected by the signs of the weights.
     """
 
-    def __init__(self, weights: Sequence[float]):
+    def __init__(self, weights: Sequence[float]) -> None:
         self.weights = tuple(float(w) for w in weights)
         self._w = np.asarray(self.weights, dtype=float)
         self._maximize = tuple(w >= 0 for w in self.weights)
@@ -84,7 +84,7 @@ class NearestScore(ScoringFunction):
     region is ``-mindist(q, region)``.
     """
 
-    def __init__(self, query: Sequence[float], p: float = 2):
+    def __init__(self, query: Sequence[float], p: float = 2) -> None:
         self.query: Point = tuple(float(v) for v in query)
         self.p = p
         self._q = np.asarray(self.query, dtype=float)

@@ -62,7 +62,7 @@ class LocalStore:
     #: flip it off to measure the uncached (pre-cache) behaviour.
     cache_enabled: bool = True
 
-    def __init__(self, dims: int, points: Iterable[Sequence[float]] = ()):
+    def __init__(self, dims: int, points: Iterable[Sequence[float]] = ()) -> None:
         if dims <= 0:
             raise ValueError("dims must be positive")
         self.dims = dims
@@ -142,7 +142,7 @@ class LocalStore:
         keep insertion order) and ``sorted_desc = scores[order]``, which
         turns every threshold scan into a binary search over a prefix.
         """
-        def compute():
+        def compute() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             scores = fn.score_batch(self.array)
             order = np.argsort(-scores, kind="stable")
             return scores, order, scores[order]
@@ -243,7 +243,7 @@ class Replica:
 
     __slots__ = ("owner_id", "store", "version")
 
-    def __init__(self, owner_id: Hashable, owner_store: LocalStore):
+    def __init__(self, owner_id: Hashable, owner_store: LocalStore) -> None:
         self.owner_id = owner_id
         self.store = LocalStore(owner_store.dims)
         self.version: int = -1

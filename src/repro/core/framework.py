@@ -37,8 +37,8 @@ from ..net.context import QueryContext, QueryResult
 from .handler import QueryHandler
 from .regions import Region
 
-__all__ = ["Link", "PeerLike", "physical_id", "run_fast", "run_slow",
-           "run_ripple", "SLOW"]
+__all__ = ["Link", "OverlayLike", "PeerLike", "physical_id", "run_fast",
+           "run_slow", "run_ripple", "SLOW"]
 
 #: Ripple parameter value that never runs out: every peer uses the
 #: sequential loop, i.e. Algorithm 2.  (Any r > maximum link count works.)
@@ -68,6 +68,19 @@ class PeerLike(Protocol):
     store: LocalStore
 
     def links(self) -> Sequence[Link]:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class OverlayLike(Protocol):
+    """What network-level tooling requires of an overlay.
+
+    Fault planning, replication, and the failure detector only ever need
+    to enumerate the peers; overlay-specific structure (tree, ring,
+    zones) stays behind this boundary.
+    """
+
+    def peers(self) -> Sequence[PeerLike]:  # pragma: no cover - protocol
         ...
 
 
@@ -168,7 +181,7 @@ class _Frame:
 
     def __init__(self, ctx: QueryContext, handler: QueryHandler,
                  peer: PeerLike, received_state: Any, restriction: Region,
-                 r: int, top_level: bool = False):
+                 r: int, top_level: bool = False) -> None:
         self.peer = peer
         self.received_state = received_state
         self.restriction = restriction
@@ -185,10 +198,13 @@ class _Frame:
         self.gstate = handler.compute_global_state(received_state,
                                                    self.local_state)
         if r > 0:
-            self.links = sorted(
+            self.links: list[Link] = sorted(
                 peer.links(),
                 key=lambda ln: handler.link_priority(ln.region))
-            self.upstream: list[Any] | None = None
+            #: Parallel-mode accumulator of subtree states; sequential
+            #: frames fold children into ``local_state`` and leave this
+            #: empty (it was previously a ``None`` sentinel nothing read).
+            self.upstream: list[Any] = []
         else:
             self.links = list(peer.links())
             self.upstream = [self.local_state] if self.processes else []

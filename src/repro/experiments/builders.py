@@ -18,7 +18,7 @@ from ..data.nba import nba_dataset, to_minimization
 from ..data.synth import synth_clustered
 from ..overlays.baton import BatonOverlay
 from ..overlays.can import CanOverlay
-from ..overlays.midas import MidasOverlay
+from ..overlays.midas import LinkPolicy, MidasOverlay
 from ..overlays.zcurve import ZCurve
 from .config import ExperimentConfig
 
@@ -56,12 +56,12 @@ def mirflickr(config: ExperimentConfig, seed: int = 0) -> np.ndarray:
 
 
 def build_midas(data: np.ndarray, size: int, seed: int, *,
-                link_policy: str = "random") -> MidasOverlay:
+                link_policy: LinkPolicy = "random") -> MidasOverlay:
     """The experiment-standard MIDAS network: data-adaptive joins over
     midpoint splits (see DESIGN.md), loaded before growing."""
     overlay = MidasOverlay(data.shape[1], size=1, seed=seed,
                            join_policy="data", split_rule="midpoint",
-                           link_policy=link_policy)  # type: ignore[arg-type]
+                           link_policy=link_policy)
     overlay.load(data)
     overlay.grow_to(size)
     return overlay

@@ -1,5 +1,7 @@
 """Simulation runtime: cost accounting, routing, and fault injection."""
 
+from typing import Any
+
 from .context import DuplicateVisitError, QueryContext, QueryResult, QueryStats
 from .routing import RoutingError, greedy_route, route_around
 
@@ -16,7 +18,7 @@ _FAULTS = {"FaultPlan", "region_volume", "resilient_ripple"}
 _DETECTOR = {"FailureDetector"}
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # Lazy so that repro.core.framework can import .context while this
     # package initializes without cycling through the engines (which
     # import the framework back).

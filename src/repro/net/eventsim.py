@@ -42,7 +42,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
-from ..core.framework import PeerLike, SLOW, physical_id
+from ..core.framework import Link, PeerLike, SLOW, physical_id
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
 from .context import QueryContext, QueryResult, QueryStats
@@ -101,10 +101,10 @@ class EventSimulator:
         self.max_events = max_events
         self._messages = itertools.count()
         self._request_ids = itertools.count()
-        #: Supervised-request registry: request id -> [incarnation, result].
+        #: Supervised-request registry: request id -> :class:`_RequestEntry`.
         #: Models the remote peer remembering a request so duplicate
         #: forwards are suppressed and completed results can be replayed.
-        self.requests: dict[int, list[Any]] = {}
+        self.requests: dict[int, _RequestEntry] = {}
         #: Self-healing attachments (set by resilient_ripple when a
         #: ReplicaDirectory is supplied): the promotion source and the
         #: failure detector steering proactive link patching.
@@ -156,6 +156,21 @@ class EventSimulator:
 
 
 @dataclass
+class _RequestEntry:
+    """A remote peer's memory of one supervised request.
+
+    ``incarnation`` is the target's crash count when it accepted the
+    request — a later mismatch means the serving execution died with the
+    peer (amnesia) and the request must start over.  ``result`` caches
+    the response once the remote subtree completes, so duplicate and
+    retransmit-requesting forwards replay it instead of re-processing.
+    """
+
+    incarnation: int
+    result: list[Any] | None = None
+
+
+@dataclass
 class _Invocation:
     """One peer's in-flight execution of Algorithm 3 (sequential mode).
 
@@ -177,13 +192,21 @@ class _Invocation:
     on_done: Callable[[list[Any]], None]
     local_state: Any = None
     global_state: Any = None
-    pending: list = field(default_factory=list)
+    pending: list[Link] = field(default_factory=list)
     #: Cursor into :attr:`pending`; advancing an index is O(1) per link
     #: where popping the list head would shift the whole tail.
     pending_index: int = 0
     #: How many times this subtree's lineage was already re-routed around
     #: a failure; bounds recovery recursion (see FaultPlan.max_reroute_depth).
     route_depth: int = 0
+    #: Crash-stop bookkeeping, initialized by :meth:`start` under a fault
+    #: plan: the executing machine's incarnation at start, whether the
+    #: peer has been observed dead, whether its local answer shipped, and
+    #: whether this invocation processed the peer's data.
+    _birth: int = 0
+    _gone: bool = False
+    _answered: bool = False
+    _processes: bool = False
 
     def start(self) -> None:
         faults = self.sim.faults
@@ -371,11 +394,13 @@ class _Attempt:
                  r: int, on_states: Callable[[list[Any]], None],
                  on_give_up: Callable[[], None],
                  route_depth: int | None = None, extra_delay: int = 0,
-                 tried: frozenset = frozenset()):
+                 tried: frozenset[Hashable] = frozenset()) -> None:
+        faults = parent.sim.faults
+        assert faults is not None, "attempts exist only under a fault plan"
         self.parent = parent
         self.sim = parent.sim
         self.ctx = parent.ctx
-        self.faults = parent.sim.faults
+        self.faults: "FaultPlan" = faults
         self.target = target
         self.sub = sub
         self.r = r
@@ -448,11 +473,11 @@ class _Attempt:
         self._send_ack()
         incarnation = faults.incarnation(physical_id(self.target), now)
         entry = self.sim.requests.get(self.request_id)
-        if entry is not None and entry[0] == incarnation:
-            if entry[1] is not None:
-                self._respond(entry[1])  # duplicate of a completed request
+        if entry is not None and entry.incarnation == incarnation:
+            if entry.result is not None:
+                self._respond(entry.result)  # duplicate, already completed
             return  # in progress: the running invocation will respond
-        self.sim.requests[self.request_id] = [incarnation, None]
+        self.sim.requests[self.request_id] = _RequestEntry(incarnation)
         child = _Invocation(self.sim, self.ctx, self.parent.handler,
                             self.target, self.parent.global_state, self.sub,
                             self.r, self.parent.initiator_id,
@@ -505,26 +530,23 @@ class _Attempt:
             return
         faults = self.faults
         now = self.sim.now
+        pid = physical_id(self.target)
         entry = self.sim.requests.get(self.request_id)
-        healthy = (faults.alive(physical_id(self.target), now)
-                   and entry is not None
-                   and entry[0] == faults.incarnation(physical_id(self.target),
-                                                      now))
-        if not healthy:
+        if (entry is None or not faults.alive(pid, now)
+                or entry.incarnation != faults.incarnation(pid, now)):
             # The remote peer crashed (and possibly recovered with
             # amnesia): the in-flight execution is gone, start over.
             self.ctx.on_timeout()
             detector = self.sim.detector
-            if (detector is not None
-                    and detector.is_dead(physical_id(self.target))):
+            if detector is not None and detector.is_dead(pid):
                 self._fail()
             elif self.tries <= faults.max_retries:
                 self.send()
             else:
                 self._fail()
             return
-        if entry[1] is not None:
-            self._respond(entry[1])  # response was lost: retransmit
+        if entry.result is not None:
+            self._respond(entry.result)  # response was lost: retransmit
             if self.done:
                 return
         self._arm_watchdog()
@@ -534,7 +556,7 @@ class _Attempt:
     def _child_finished(self, states: list[Any]) -> None:
         entry = self.sim.requests.get(self.request_id)
         if entry is not None:
-            entry[1] = list(states)
+            entry.result = list(states)
         self._respond(states)
 
     def _respond(self, states: list[Any]) -> None:

@@ -45,12 +45,12 @@ cross-validates property-style against the recursive engine.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..common.hashing import mix
-from ..core.framework import SLOW, PeerLike
+from ..core.framework import SLOW, OverlayLike, PeerLike
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
 from .context import QueryContext, QueryResult
@@ -135,7 +135,7 @@ class FaultPlan:
     @classmethod
     def churn(
         cls,
-        peers: Iterable[Hashable] | object,
+        peers: Iterable[Hashable] | OverlayLike,
         *,
         crash_fraction: float,
         seed: int = 0,
@@ -155,10 +155,10 @@ class FaultPlan:
         if not 0.0 <= crash_fraction <= 1.0:
             raise ValueError(
                 f"crash_fraction must be within [0, 1], got {crash_fraction}")
-        if hasattr(peers, "peers"):
+        if isinstance(peers, OverlayLike):
             ids: list[Hashable] = [p.peer_id for p in peers.peers()]
         else:
-            ids = list(peers)  # type: ignore[arg-type]
+            ids = list(peers)
         rng = np.random.default_rng(mix(seed, _CHURN_SALT))
         crashes: dict[Hashable, list[tuple[float, float]]] = {}
         for peer_id in ids:
@@ -172,8 +172,8 @@ class FaultPlan:
                    crashes=crashes, **knobs)
 
     @classmethod
-    def from_overlay(cls, overlay: object, *, seed: int = 0,
-                     **knobs: float) -> "FaultPlan":
+    def from_overlay(cls, overlay: OverlayLike, *, seed: int = 0,
+                     **knobs: int) -> "FaultPlan":
         """Freeze the overlay's per-peer ``alive`` flags into a plan.
 
         Peers flagged dead (``peer.alive == False``) are down from time 0
@@ -181,10 +181,10 @@ class FaultPlan:
         """
         crashes = {
             peer.peer_id: [(0.0, math.inf)]
-            for peer in overlay.peers()  # type: ignore[attr-defined]
+            for peer in overlay.peers()
             if not getattr(peer, "alive", True)
         }
-        return cls(seed=seed, crashes=crashes, **knobs)  # type: ignore[arg-type]
+        return cls(seed=seed, crashes=crashes, **knobs)
 
     # -- liveness ----------------------------------------------------------
 
@@ -291,7 +291,7 @@ def resilient_ripple(
             sim.detector = detector
             detector.start()
 
-    def finish(states: list) -> None:
+    def finish(states: list[Any]) -> None:
         if detector is not None:
             detector.stop()
 

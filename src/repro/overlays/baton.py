@@ -21,6 +21,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..common.geometry import Rect
 from ..common.store import LocalStore
 from .zcurve import ZCurve
 
@@ -35,7 +36,8 @@ class BatonPeer:
                  "adjacent_prev", "adjacent_next", "left_table",
                  "right_table", "store", "cached_cells", "alive")
 
-    def __init__(self, peer_id: int, level: int, offset: int):
+    def __init__(self, peer_id: int, level: int, offset: int,
+                 dims: int) -> None:
         self.peer_id = peer_id
         self.level = level
         self.offset = offset
@@ -52,8 +54,11 @@ class BatonPeer:
         self.adjacent_next: BatonPeer | None = None
         self.left_table: list[BatonPeer] = []
         self.right_table: list[BatonPeer] = []
-        self.store: LocalStore | None = None
-        self.cached_cells = None  # set by SSP: z-cells covering the range
+        #: Always a live store (empty until the overlay loads data) — a
+        #: half-constructed peer with no store was a latent crash site.
+        self.store: LocalStore = LocalStore(dims)
+        #: Set lazily by SSP: z-cells covering the peer's key range.
+        self.cached_cells: list[Rect] | None = None
 
     def contains(self, key: int) -> bool:
         return self.range_lo <= key < self.range_hi
@@ -70,13 +75,13 @@ class BatonOverlay:
     """An omniscient simulation of a BATON network keyed by a Z-curve."""
 
     def __init__(self, size: int, data: np.ndarray, *, zcurve: ZCurve,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if size < 1:
             raise ValueError("size must be positive")
         self.zcurve = zcurve
         self.rng = np.random.default_rng(seed ^ 0xBA70)
         self.dims = zcurve.dims
-        self._peers = [BatonPeer(i, _level(i + 1), _offset(i + 1))
+        self._peers = [BatonPeer(i, _level(i + 1), _offset(i + 1), self.dims)
                        for i in range(size)]
         self._wire_tree(size)
         self._assign_ranges(np.asarray(data, dtype=float))

@@ -59,7 +59,7 @@ class CanPeer:
                  "replicas", "_neighbors", "_links")
 
     def __init__(self, peer_id: int, overlay: "CanOverlay", leaf: Node,
-                 anchor: Point):
+                 anchor: Point) -> None:
         self.peer_id = peer_id
         self.overlay = overlay
         self.leaf = leaf
@@ -135,7 +135,7 @@ class CanOverlay:
     """An omniscient simulation of a CAN network."""
 
     def __init__(self, dims: int, *, size: int = 1, seed: int = 0,
-                 join_policy: JoinPolicy = "uniform"):
+                 join_policy: JoinPolicy = "uniform") -> None:
         self.dims = dims
         self.seed = seed
         self.join_policy: JoinPolicy = join_policy
@@ -224,8 +224,8 @@ class CanOverlay:
             survivor.leaf = merged
         else:
             pair = self.tree.find_leaf_pair(sibling)
-            mover: CanPeer = pair.right.payload  # type: ignore[union-attr]
-            absorber: CanPeer = pair.left.payload  # type: ignore[union-attr]
+            mover: CanPeer = pair.child(1).payload
+            absorber: CanPeer = pair.child(0).payload
             absorber.store.bulk_load(mover.store.take_all())
             merged = self.tree.merge_children(pair)
             merged.payload = absorber
@@ -301,8 +301,8 @@ class CanOverlay:
             if not node.rect.intersects(zone):
                 continue
             if not node.is_leaf:
-                stack.append(node.left)  # type: ignore[arg-type]
-                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.child(0))
+                stack.append(node.child(1))
                 continue
             if node is peer.leaf:
                 continue

@@ -37,7 +37,7 @@ class ChordPeer:
     __slots__ = ("peer_id", "overlay", "ring_id", "store", "alive",
                  "replicas", "_links")
 
-    def __init__(self, peer_id: int, overlay: "ChordOverlay", ring_id: float):
+    def __init__(self, peer_id: int, overlay: "ChordOverlay", ring_id: float) -> None:
         self.peer_id = peer_id
         self.overlay = overlay
         self.ring_id = ring_id
@@ -68,7 +68,7 @@ class ChordPeer:
 class ChordOverlay:
     """An omniscient simulation of a Chord ring."""
 
-    def __init__(self, *, size: int = 1, seed: int = 0):
+    def __init__(self, *, size: int = 1, seed: int = 0) -> None:
         self.rng = np.random.default_rng(mix(seed, 0xC0D))
         self.epoch = 0
         self._peers: list[ChordPeer] = []   # kept sorted by ring_id
@@ -199,8 +199,9 @@ class ChordOverlay:
                 targets.append(finger)
         # order fingers clockwise starting just after the peer's own zone
         targets.sort(key=lambda p: (p.ring_id - peer.ring_id) % 1.0)
-        links = []
-        for current, nxt in zip(targets, targets[1:] + [None]):
+        links: list[Link] = []
+        nexts: list[ChordPeer | None] = [*targets[1:], None]
+        for current, nxt in zip(targets, nexts):
             end = peer.ring_id if nxt is None else nxt.ring_id
             region = ArcRegion.from_interval(Interval(current.ring_id, end))
             links.append(Link(peer=current, region=region))

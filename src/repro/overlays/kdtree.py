@@ -34,11 +34,14 @@ class Node:
     __slots__ = ("rect", "parent", "path", "split_dim", "split_value",
                  "left", "right", "payload")
 
-    def __init__(self, rect: Rect, parent: "Node | None", bit: int | None):
+    def __init__(self, rect: Rect, parent: "Node | None",
+                 bit: int | None) -> None:
         self.rect = rect
         self.parent = parent
-        self.path: tuple[int, ...] = (
-            () if parent is None else parent.path + (bit,))
+        if parent is None or bit is None:
+            self.path: tuple[int, ...] = ()
+        else:
+            self.path = parent.path + (bit,)
         self.split_dim: int | None = None
         self.split_value: float | None = None
         self.left: "Node | None" = None
@@ -54,9 +57,10 @@ class Node:
         return self.split_dim is None
 
     def child(self, bit: int) -> "Node":
-        if self.is_leaf:
+        node = self.left if bit == 0 else self.right
+        if node is None:
             raise ValueError("leaf has no children")
-        return self.left if bit == 0 else self.right  # type: ignore[return-value]
+        return node
 
     def id_string(self) -> str:
         """The binary identifier of Figure 1 (empty for the root)."""
@@ -70,7 +74,7 @@ class Node:
 class SplitTree:
     """A mutable binary space partition of the unit domain."""
 
-    def __init__(self, dims: int):
+    def __init__(self, dims: int) -> None:
         self.dims = dims
         self.root = Node(Rect.unit(dims), None, None)
         self.leaf_count = 1
@@ -83,10 +87,11 @@ class SplitTree:
     def locate(self, point: Sequence[float]) -> Node:
         """The leaf whose (half-open) zone contains ``point``."""
         node = self.root
-        while not node.is_leaf:
-            bit = 0 if point[node.split_dim] < node.split_value else 1
-            node = node.child(bit)
-        return node
+        while True:
+            split_dim, split_value = node.split_dim, node.split_value
+            if split_dim is None or split_value is None:
+                return node
+            node = node.child(0 if point[split_dim] < split_value else 1)
 
     def iter_leaves(self, node: Node | None = None) -> Iterator[Node]:
         node = node or self.root
@@ -96,8 +101,8 @@ class SplitTree:
             if current.is_leaf:
                 yield current
             else:
-                stack.append(current.right)  # type: ignore[arg-type]
-                stack.append(current.left)  # type: ignore[arg-type]
+                stack.append(current.child(1))
+                stack.append(current.child(0))
 
     def max_depth(self) -> int:
         return max(leaf.depth for leaf in self.iter_leaves())
@@ -138,7 +143,7 @@ class SplitTree:
         """Collapse an internal node whose children are both leaves."""
         if parent.is_leaf:
             raise ValueError("cannot merge a leaf")
-        if not (parent.left.is_leaf and parent.right.is_leaf):  # type: ignore[union-attr]
+        if not (parent.child(0).is_leaf and parent.child(1).is_leaf):
             raise ValueError("children must both be leaves")
         parent.split_dim = None
         parent.split_value = None
@@ -159,10 +164,10 @@ class SplitTree:
             raise ValueError("subtree is a single leaf")
         current = node
         while True:
-            left, right = current.left, current.right
-            if left.is_leaf and right.is_leaf:  # type: ignore[union-attr]
+            left, right = current.child(0), current.child(1)
+            if left.is_leaf and right.is_leaf:
                 return current
-            current = right if left.is_leaf else left  # type: ignore[union-attr, assignment]
+            current = right if left.is_leaf else left
 
     # -- bulk data distribution -----------------------------------------
 
@@ -179,9 +184,10 @@ class SplitTree:
             current, rows = stack.pop()
             if len(rows) == 0:
                 continue
-            if current.is_leaf:
+            split_dim, split_value = current.split_dim, current.split_value
+            if split_dim is None or split_value is None:
                 deliver(current, rows)
                 continue
-            mask = rows[:, current.split_dim] < current.split_value
-            stack.append((current.left, rows[mask]))  # type: ignore[arg-type]
-            stack.append((current.right, rows[~mask]))  # type: ignore[arg-type]
+            mask = rows[:, split_dim] < split_value
+            stack.append((current.child(0), rows[mask]))
+            stack.append((current.child(1), rows[~mask]))

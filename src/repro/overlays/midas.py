@@ -50,7 +50,7 @@ class MidasPeer:
                  "replicas", "_links")
 
     def __init__(self, peer_id: int, overlay: "MidasOverlay", leaf: Node,
-                 anchor: Point):
+                 anchor: Point) -> None:
         self.peer_id = peer_id
         self.overlay = overlay
         self.leaf = leaf
@@ -111,7 +111,7 @@ class MidasOverlay:
         link_policy: LinkPolicy = "random",
         split_rule: SplitRule = "midpoint",
         join_policy: JoinPolicy = "uniform",
-    ):
+    ) -> None:
         self.dims = dims
         self.seed = seed
         self.link_policy: LinkPolicy = link_policy
@@ -228,8 +228,8 @@ class MidasOverlay:
             # subtree: its twin absorbs its zone, and it adopts the
             # departing peer's zone and tuples.
             pair = self.tree.find_leaf_pair(sibling)
-            mover: MidasPeer = pair.right.payload  # type: ignore[union-attr]
-            absorber: MidasPeer = pair.left.payload  # type: ignore[union-attr]
+            mover: MidasPeer = pair.child(1).payload
+            absorber: MidasPeer = pair.child(0).payload
             absorber.store.bulk_load(mover.store.take_all())
             merged = self.tree.merge_children(pair)
             merged.payload = absorber

@@ -34,14 +34,51 @@ abandoning it).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
+from typing import (TYPE_CHECKING, Callable, Hashable, Iterable, Protocol,
+                    Sequence, runtime_checkable)
 
-from ..common.store import Replica
+from ..common.store import LocalStore, Replica
 
 if TYPE_CHECKING:  # pragma: no cover - type-only
     from ..core.framework import Link, PeerLike
 
-__all__ = ["PromotedPeer", "ReplicaDirectory"]
+__all__ = ["PromotedPeer", "ReplicaDirectory", "ReplicatedOverlay",
+           "ReplicatedPeer"]
+
+
+@runtime_checkable
+class ReplicatedPeer(Protocol):
+    """A peer that can hold mirrors: ``PeerLike`` plus a replica table.
+
+    Re-declares the :class:`~repro.core.framework.PeerLike` surface
+    (structural typing keeps the two interchangeable) and adds the
+    per-holder ``replicas`` map the directory installs into.
+    """
+
+    peer_id: Hashable
+    store: LocalStore
+    replicas: dict[Hashable, Replica]
+
+    def links(self) -> Sequence["Link"]:  # pragma: no cover - protocol
+        ...
+
+
+class ReplicatedOverlay(Protocol):
+    """What the directory needs from an overlay.
+
+    Enumerable peers that can hold replicas, plus the overlay-specific
+    structural placement rule (``replica_targets``).  The epoch counter
+    is read dynamically — tree-shaped overlays keep it on ``.tree``,
+    flat ones on the overlay itself — see ``_overlay_epoch``.
+    """
+
+    def peers(self) -> Sequence[ReplicatedPeer]:  # pragma: no cover
+        ...
+
+    def replica_targets(  # pragma: no cover - protocol
+            self, peer: ReplicatedPeer,
+            count: int) -> Sequence[ReplicatedPeer]:
+        ...
 
 
 class PromotedPeer:
@@ -57,7 +94,7 @@ class PromotedPeer:
     __slots__ = ("peer_id", "physical_id", "store", "_owner")
 
     def __init__(self, owner: "PeerLike", holder: "PeerLike",
-                 replica: Replica):
+                 replica: Replica) -> None:
         self.peer_id = owner.peer_id
         self.physical_id = holder.peer_id
         self.store = replica.store
@@ -89,24 +126,26 @@ class ReplicaDirectory:
     peer comes back, un-patching the links).
     """
 
-    def __init__(self, overlay: object, copies: int = 1):
+    def __init__(self, overlay: ReplicatedOverlay, copies: int = 1) -> None:
         if copies < 0:
             raise ValueError(f"replication degree must be >= 0, got {copies}")
         self.overlay = overlay
         self.copies = copies
         self._epoch: int | None = None
-        self._owners: dict[Hashable, "PeerLike"] = {}
-        self._holders: dict[Hashable, list["PeerLike"]] = {}
+        self._owners: dict[Hashable, ReplicatedPeer] = {}
+        self._holders: dict[Hashable, list[ReplicatedPeer]] = {}
         self._promotions: dict[Hashable, Hashable] = {}
         self.refresh()
 
     # -- maintenance -------------------------------------------------------
 
     def _overlay_epoch(self) -> int:
+        # Tree-shaped overlays (MIDAS, CAN) version their SplitTree; flat
+        # ones (Chord, BATON) version themselves.
         tree = getattr(self.overlay, "tree", None)
         if tree is not None:
-            return tree.epoch
-        return self.overlay.epoch  # type: ignore[attr-defined]
+            return int(tree.epoch)
+        return int(getattr(self.overlay, "epoch"))
 
     def refresh(self) -> None:
         """Bring placement and mirrors up to date; clears promotions."""
@@ -124,14 +163,13 @@ class ReplicaDirectory:
         self._promotions.clear()
 
     def _install(self) -> None:
-        peers = list(self.overlay.peers())  # type: ignore[attr-defined]
+        peers = list(self.overlay.peers())
         for peer in peers:
             peer.replicas.clear()
         self._owners = {peer.peer_id: peer for peer in peers}
         self._holders = {}
         for peer in peers:
-            targets = list(self.overlay.replica_targets(  # type: ignore[attr-defined]
-                peer, self.copies))
+            targets = list(self.overlay.replica_targets(peer, self.copies))
             for target in targets:
                 target.replicas[peer.peer_id] = Replica(peer.peer_id,
                                                         peer.store)
@@ -139,17 +177,17 @@ class ReplicaDirectory:
 
     # -- lookup ------------------------------------------------------------
 
-    def owners(self) -> Iterable["PeerLike"]:
+    def owners(self) -> Iterable[ReplicatedPeer]:
         return self._owners.values()
 
-    def holders(self, owner_id: Hashable) -> list["PeerLike"]:
+    def holders(self, owner_id: Hashable) -> list[ReplicatedPeer]:
         """The replica holders of ``owner_id`` in placement order."""
         return list(self._holders.get(owner_id, ()))
 
     # -- repair protocol ---------------------------------------------------
 
     def repair(self, owner_id: Hashable,
-               alive: Callable[[Hashable], bool]) -> "PeerLike | None":
+               alive: Callable[[Hashable], bool]) -> ReplicatedPeer | None:
         """Declare ``owner_id`` dead: pin the first live holder as its
         takeover target (the patched-link destination)."""
         for holder in self._holders.get(owner_id, ()):
@@ -165,7 +203,8 @@ class ReplicaDirectory:
 
     def promote(self, owner_id: Hashable,
                 alive: Callable[[Hashable], bool],
-                exclude: frozenset = frozenset()) -> PromotedPeer | None:
+                exclude: frozenset[Hashable] = frozenset(),
+                ) -> PromotedPeer | None:
         """A live stand-in for ``owner_id``, or None when none exists.
 
         Prefers the holder pinned by :meth:`repair` (so every patched

@@ -10,6 +10,8 @@ which is exactly why these systems need per-node precomputation
 
 from __future__ import annotations
 
+from typing import Any, Hashable
+
 import numpy as np
 
 from ..common.store import LocalStore
@@ -22,7 +24,7 @@ class SuperPeerNode:
 
     __slots__ = ("node_id", "super_peer", "store")
 
-    def __init__(self, node_id: int, super_peer: "SuperPeer", dims: int):
+    def __init__(self, node_id: int, super_peer: "SuperPeer", dims: int) -> None:
         self.node_id = node_id
         self.super_peer = super_peer
         self.store = LocalStore(dims)
@@ -39,17 +41,17 @@ class SuperPeer:
 
     __slots__ = ("peer_id", "nodes", "cache")
 
-    def __init__(self, peer_id: int):
+    def __init__(self, peer_id: int) -> None:
         self.peer_id = peer_id
         self.nodes: list[SuperPeerNode] = []
-        self.cache: dict = {}
+        self.cache: dict[Hashable, Any] = {}
 
 
 class SuperPeerNetwork:
     """Two-tier network: ``super_peers`` cliques, nodes round-robined."""
 
     def __init__(self, dims: int, *, super_peers: int, nodes_per_super: int,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if super_peers < 1 or nodes_per_super < 1:
             raise ValueError("need at least one super-peer and node")
         self.dims = dims

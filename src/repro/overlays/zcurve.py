@@ -25,7 +25,7 @@ __all__ = ["ZCurve"]
 class ZCurve:
     """A fixed-resolution Morton codec over the unit cube."""
 
-    def __init__(self, dims: int, bits_per_dim: int = 10):
+    def __init__(self, dims: int, bits_per_dim: int = 10) -> None:
         if dims <= 0 or bits_per_dim <= 0:
             raise ValueError("dims and bits_per_dim must be positive")
         if dims * bits_per_dim > 62:

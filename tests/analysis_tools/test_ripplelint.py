@@ -1,0 +1,484 @@
+"""ripplelint's own test-suite: golden fixtures per rule plus self-checks.
+
+Every rule gets one known-bad fixture (the rule must fire, with the right
+rule id and line) and one known-good fixture (the rule must stay silent
+on the legitimate twin of the pattern).  The repo-wide self-check at the
+bottom is the real gate: ``src/`` lints clean, so any new violation fails
+the suite locally exactly as the CI static-analysis job would.
+"""
+
+import importlib
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis_tools import ripplelint
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def findings_for(source, virtual_path="src/repro/somewhere/mod.py"):
+    return ripplelint.lint_source(source, virtual_path=virtual_path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- RPL001: unseeded randomness ------------------------------------------
+
+
+class TestRPL001:
+    def test_bad_import_random(self):
+        findings = findings_for("import random\nx = random.random()\n")
+        assert "RPL001" in rules_of(findings)
+        assert findings[0].line == 1
+
+    def test_bad_from_random_import(self):
+        findings = findings_for("from random import shuffle\n")
+        assert rules_of(findings) == ["RPL001"]
+
+    def test_bad_legacy_np_random_call(self):
+        findings = findings_for(
+            "import numpy as np\nx = np.random.random(4)\n")
+        assert rules_of(findings) == ["RPL001"]
+        assert findings[0].line == 2
+
+    def test_good_seeded_generator(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng(7)\n"
+                  "x = rng.random(4)\n"
+                  "ss = np.random.SeedSequence(3)\n")
+        assert findings_for(source) == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        findings = ripplelint.lint_source(
+            "import random\n", virtual_path="scripts/mod.py")
+        assert findings == []
+
+
+# -- RPL002: wall-clock reads ---------------------------------------------
+
+
+class TestRPL002:
+    def test_bad_time_time(self):
+        findings = findings_for("import time\nstart = time.time()\n")
+        assert rules_of(findings) == ["RPL002"]
+        assert findings[0].line == 2
+
+    def test_bad_perf_counter_import(self):
+        findings = findings_for("from time import perf_counter\n")
+        assert rules_of(findings) == ["RPL002"]
+
+    def test_bad_datetime_now(self):
+        findings = findings_for(
+            "import datetime\nstamp = datetime.datetime.now()\n")
+        assert rules_of(findings) == ["RPL002"]
+
+    def test_good_inside_wallclock_helper(self):
+        source = ("import time\n"
+                  "def _wallclock() -> float:\n"
+                  "    return time.time()\n")
+        assert findings_for(source) == []
+
+    def test_good_virtual_time(self):
+        assert findings_for("def f(sim):\n    return sim.now\n") == []
+
+
+# -- RPL003: LocalStore internals -----------------------------------------
+
+
+class TestRPL003:
+    def test_bad_direct_size_write(self):
+        findings = findings_for("def f(store):\n    store._size += 1\n")
+        assert "RPL003" in rules_of(findings)
+
+    def test_bad_private_method_call(self):
+        findings = findings_for("def f(store):\n    store._invalidate()\n")
+        assert rules_of(findings) == ["RPL003"]
+
+    def test_good_mutation_api(self):
+        source = ("def f(store, rows):\n"
+                  "    store.bulk_load(rows)\n"
+                  "    return store.array, store.version\n")
+        assert findings_for(source) == []
+
+    def test_store_module_itself_is_exempt(self):
+        findings = ripplelint.lint_source(
+            "class LocalStore:\n"
+            "    def _invalidate(self) -> None:\n"
+            "        self._cache = {}\n",
+            virtual_path="src/repro/common/store.py")
+        assert findings == []
+
+
+# -- RPL004: handler protocol ---------------------------------------------
+
+
+COMPLETE_HANDLER = """
+from repro.core.handler import QueryHandler
+
+class GoodHandler(QueryHandler):
+    def initial_state(self): return None
+    def compute_local_state(self, store, state): return None
+    def compute_global_state(self, received, local): return None
+    def update_local_state(self, states): return None
+    def compute_local_answer(self, store, state): return []
+    def is_link_relevant(self, region, state): return True
+    def link_priority(self, region): return 0.0
+    def finalize(self, answers): return []
+"""
+
+
+class TestRPL004:
+    def test_good_complete_handler(self):
+        assert findings_for(COMPLETE_HANDLER) == []
+
+    def test_bad_missing_method(self):
+        source = COMPLETE_HANDLER.replace(
+            "    def finalize(self, answers): return []\n", "")
+        findings = findings_for(source)
+        assert rules_of(findings) == ["RPL004"]
+        assert "finalize" in findings[0].message
+
+    def test_bad_wrong_arity(self):
+        source = COMPLETE_HANDLER.replace(
+            "def link_priority(self, region):",
+            "def link_priority(self, region, extra):")
+        findings = findings_for(source)
+        assert rules_of(findings) == ["RPL004"]
+        assert "link_priority" in findings[0].message
+
+    def test_bad_optional_hook_arity(self):
+        source = COMPLETE_HANDLER + (
+            "    def seed_satisfied(self, a, b): return False\n")
+        findings = findings_for(source)
+        assert rules_of(findings) == ["RPL004"]
+
+    def test_abstract_intermediate_is_exempt(self):
+        source = ("from repro.core.handler import QueryHandler\n"
+                  "from abc import abstractmethod\n"
+                  "class Base(QueryHandler):\n"
+                  "    @abstractmethod\n"
+                  "    def extra(self): ...\n")
+        assert findings_for(source) == []
+
+
+# -- RPL005: replication contract -----------------------------------------
+
+
+OVERLAY_PATH = "src/repro/overlays/custom.py"
+
+REPLICATED_OVERLAY = """
+class CustomPeer:
+    __slots__ = ("peer_id", "store", "alive", "replicas")
+
+class CustomOverlay:
+    def join(self): ...
+    def leave(self): ...
+    def replica_targets(self, peer, count): return []
+"""
+
+
+class TestRPL005:
+    def test_good_full_contract(self):
+        assert ripplelint.lint_source(
+            REPLICATED_OVERLAY, virtual_path=OVERLAY_PATH) == []
+
+    def test_bad_missing_replica_targets(self):
+        source = REPLICATED_OVERLAY.replace(
+            "    def replica_targets(self, peer, count): return []\n", "")
+        findings = ripplelint.lint_source(source, virtual_path=OVERLAY_PATH)
+        assert rules_of(findings) == ["RPL005"]
+        assert "replica_targets" in findings[0].message
+
+    def test_bad_wrong_replica_targets_arity(self):
+        source = REPLICATED_OVERLAY.replace(
+            "def replica_targets(self, peer, count):",
+            "def replica_targets(self, peer):")
+        findings = ripplelint.lint_source(source, virtual_path=OVERLAY_PATH)
+        assert rules_of(findings) == ["RPL005"]
+
+    def test_bad_peer_missing_replica_slots(self):
+        source = REPLICATED_OVERLAY.replace(
+            '__slots__ = ("peer_id", "store", "alive", "replicas")',
+            '__slots__ = ("peer_id", "store")')
+        findings = ripplelint.lint_source(source, virtual_path=OVERLAY_PATH)
+        assert sorted(rules_of(findings)) == ["RPL005", "RPL005"]
+
+    def test_bad_partial_physical_identity(self):
+        source = ("class HalfPromoted:\n"
+                  '    __slots__ = ("physical_id", "store")\n')
+        findings = ripplelint.lint_source(source, virtual_path=OVERLAY_PATH)
+        assert rules_of(findings) == ["RPL005"]
+        assert "physical_id" in findings[0].message
+
+    def test_outside_overlays_is_exempt(self):
+        source = REPLICATED_OVERLAY.replace(
+            "    def replica_targets(self, peer, count): return []\n", "")
+        assert findings_for(source) == []
+
+
+# -- RPL006: mutable defaults / bare except -------------------------------
+
+
+class TestRPL006:
+    def test_bad_mutable_default(self):
+        findings = findings_for("def f(xs=[]):\n    return xs\n")
+        assert rules_of(findings) == ["RPL006"]
+
+    def test_bad_mutable_call_default(self):
+        findings = findings_for("def f(xs=dict()):\n    return xs\n")
+        assert rules_of(findings) == ["RPL006"]
+
+    def test_bad_bare_except(self):
+        source = ("def f():\n"
+                  "    try:\n"
+                  "        return 1\n"
+                  "    except:\n"
+                  "        return 2\n")
+        findings = findings_for(source)
+        assert rules_of(findings) == ["RPL006"]
+
+    def test_good_none_default_and_narrow_except(self):
+        source = ("def f(xs=None, ys=frozenset()):\n"
+                  "    try:\n"
+                  "        return list(xs or [])\n"
+                  "    except ValueError:\n"
+                  "        return []\n")
+        assert findings_for(source) == []
+
+
+# -- RPL007: float equality in kernels ------------------------------------
+
+
+KERNEL_PATH = "src/repro/common/scoring.py"
+
+
+class TestRPL007:
+    def test_bad_arithmetic_equality(self):
+        findings = ripplelint.lint_source(
+            "def f(a, b, c):\n    return a + b == c\n",
+            virtual_path=KERNEL_PATH)
+        assert rules_of(findings) == ["RPL007"]
+
+    def test_bad_inequality_on_product(self):
+        findings = ripplelint.lint_source(
+            "def f(x, w, t):\n    return x * w != t\n",
+            virtual_path=KERNEL_PATH)
+        assert rules_of(findings) == ["RPL007"]
+
+    def test_good_stored_value_comparison(self):
+        # Comparing two stored coordinates exactly is legitimate: zones
+        # tile the domain with shared, bit-identical face coordinates.
+        findings = ripplelint.lint_source(
+            "def f(a, b):\n    return a.lo == b.hi\n",
+            virtual_path=KERNEL_PATH)
+        assert findings == []
+
+    def test_non_kernel_module_is_exempt(self):
+        assert findings_for("def f(a, b, c):\n    return a + b == c\n") == []
+
+
+# -- RPL008: __all__ hygiene ----------------------------------------------
+
+
+class TestRPL008:
+    def test_bad_unresolved_name(self):
+        findings = findings_for('__all__ = ["missing"]\n')
+        assert rules_of(findings) == ["RPL008"]
+        assert "missing" in findings[0].message
+
+    def test_good_resolved_names(self):
+        source = ('__all__ = ["f", "X"]\n'
+                  "def f():\n    return 1\n"
+                  "class X:\n    pass\n")
+        assert findings_for(source) == []
+
+    def test_pep562_getattr_exempts_resolution(self):
+        source = ('__all__ = ["lazy"]\n'
+                  "def __getattr__(name):\n"
+                  "    raise AttributeError(name)\n")
+        assert findings_for(source) == []
+
+    def test_bad_package_without_all(self):
+        findings = ripplelint.lint_source(
+            '"""docstring."""\n',
+            virtual_path="src/repro/newpkg/__init__.py")
+        assert rules_of(findings) == ["RPL008"]
+
+    def test_bad_package_without_docstring(self):
+        findings = ripplelint.lint_source(
+            "__all__ = []\n",
+            virtual_path="src/repro/newpkg/__init__.py")
+        assert rules_of(findings) == ["RPL008"]
+
+
+# -- RPL009: type-ignore hygiene ------------------------------------------
+
+
+class TestRPL009:
+    def test_bad_blanket_ignore(self):
+        findings = findings_for("x = f()  # type: ignore\n")
+        assert rules_of(findings) == ["RPL009"]
+
+    def test_bad_unjustified_narrow_ignore(self):
+        findings = findings_for("x = f()  # type: ignore[arg-type]\n")
+        assert rules_of(findings) == ["RPL009"]
+
+    def test_good_justified_narrow_ignore(self):
+        source = ("x = f()  # type: ignore[arg-type]  "
+                  "# the checker cannot see the runtime registry\n")
+        assert findings_for(source) == []
+
+    def test_mention_inside_string_is_not_a_finding(self):
+        source = 'doc = "never write # type: ignore without codes"\n'
+        assert findings_for(source) == []
+
+
+# -- suppression comments --------------------------------------------------
+
+
+class TestSuppression:
+    def test_targeted_suppression_silences_one_line(self):
+        source = ("import time\n"
+                  "a = time.time()  # ripplelint: disable=RPL002 -- profiling\n"
+                  "b = time.time()\n")
+        findings = findings_for(source)
+        assert rules_of(findings) == ["RPL002"]
+        assert findings[0].line == 3
+
+    def test_suppression_is_rule_specific(self):
+        source = "x = time.time()  # ripplelint: disable=RPL001\n"
+        findings = findings_for("import time\n" + source)
+        assert "RPL002" in rules_of(findings)
+
+    def test_multiple_rules_in_one_comment(self):
+        source = ("import time  # ripplelint: disable=RPL001, RPL002\n")
+        assert findings_for(source) == []
+
+
+# -- CLI behavior ----------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_nonzero_and_location_output(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "queries" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        code = ripplelint.main([str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert f"{bad.as_posix()}:1:1: RPL001" in out
+
+    def test_github_format(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "queries" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        code = ripplelint.main(["--format", "github", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.startswith("::error file=")
+        assert "line=1" in out and "RPL001" in out
+
+    def test_list_rules(self, capsys):
+        assert ripplelint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                        "RPL006", "RPL007", "RPL008", "RPL009"):
+            assert rule_id in out
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "queries" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = f()  # type: ignore\n")
+        assert ripplelint.main(["--rule", "RPL009", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL009" in out and "RPL001" not in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis_tools.ripplelint",
+             "--list-rules"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0
+        assert "RPL001" in proc.stdout
+
+    def test_tools_wrapper(self):
+        wrapper = REPO / "tools" / "ripplelint"
+        proc = subprocess.run(
+            [sys.executable, str(wrapper), "--list-rules"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0
+        assert "RPL001" in proc.stdout
+
+
+# -- repo-wide gates -------------------------------------------------------
+
+
+class TestRepoSelfCheck:
+    def test_src_lints_clean(self):
+        findings = ripplelint.lint_paths([str(SRC)])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_all_exports_resolve_at_runtime(self):
+        """Every ``__all__`` name of every repro module imports for real."""
+        names = [path.relative_to(SRC).with_suffix("")
+                 for path in sorted((SRC / "repro").rglob("*.py"))]
+        modules = [".".join(p.parts[:-1] if p.parts[-1] == "__init__"
+                            else p.parts) for p in names]
+        assert modules, "no modules found under src/repro"
+        for module_name in sorted(set(modules)):
+            module = importlib.import_module(module_name)
+            for export in getattr(module, "__all__", ()):
+                assert hasattr(module, export), \
+                    f"{module_name}.__all__ names unresolvable {export!r}"
+
+    def test_strict_packages_fully_annotated(self):
+        """Local stand-in for the CI mypy gate (mypy may be absent here):
+        every function in the strict packages carries full annotations."""
+        import ast
+        missing = []
+        for pkg in ("core", "net", "common", "overlays"):
+            for path in sorted((SRC / "repro" / pkg).rglob("*.py")):
+                tree = ast.parse(path.read_text())
+                for node in ast.walk(tree):
+                    if not isinstance(node, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                        continue
+                    args = node.args
+                    unannotated = [
+                        a.arg
+                        for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)
+                        if a.annotation is None
+                        and a.arg not in ("self", "cls")]
+                    if args.vararg is not None \
+                            and args.vararg.annotation is None:
+                        unannotated.append("*" + args.vararg.arg)
+                    if args.kwarg is not None \
+                            and args.kwarg.annotation is None:
+                        unannotated.append("**" + args.kwarg.arg)
+                    if node.returns is None:
+                        unannotated.append("return")
+                    if unannotated:
+                        missing.append(
+                            f"{path}:{node.lineno} {node.name}: "
+                            + ", ".join(unannotated))
+        assert missing == [], "\n".join(missing)
+
+    @pytest.mark.skipif(shutil.which("mypy") is None,
+                        reason="mypy not installed; CI runs the real gate")
+    def test_mypy_strict_packages(self):
+        proc = subprocess.run(
+            ["mypy", "-p", "repro.core", "-p", "repro.net",
+             "-p", "repro.common", "-p", "repro.overlays"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/local/bin:/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -107,3 +107,38 @@ class TestAgreement:
         assert message_level.answer == recursive.answer
         assert message_level.stats.latency == recursive.stats.latency
         assert message_level.stats.processed == recursive.stats.processed
+
+
+class TestRequestRegistry:
+    """The supervised-request registry (:class:`_RequestEntry`).
+
+    Regression cover for the refactor that replaced the registry's raw
+    ``(incarnation, result-or-sentinel)`` bookkeeping with an explicit
+    dataclass: in-progress entries must read as result-less (never as an
+    empty result), and duplicate deliveries under message loss must be
+    answered from the cached result, keeping answers exact.
+    """
+
+    def test_entry_starts_in_progress(self):
+        from repro.net.eventsim import _RequestEntry
+
+        entry = _RequestEntry(incarnation=2)
+        assert entry.result is None  # in progress, not "empty answer"
+        entry.result = []
+        assert entry.result == []  # an empty cached result is distinct
+
+    def test_lossy_run_stays_exact(self):
+        from repro.net.faults import FaultPlan, resilient_ripple
+
+        overlay = midas_network(9, peers=24, tuples=200)
+        handler = TopKHandler(LinearScore([1, 1]), 5)
+        initiator = overlay.peers()[3]
+        baseline = run_ripple(initiator, handler, 1,
+                              restriction=overlay.domain())
+        lossy = resilient_ripple(
+            initiator, handler, 1, restriction=overlay.domain(),
+            faults=FaultPlan(seed=11, drop_prob=0.3))
+        assert lossy.answer == baseline.answer
+        assert lossy.stats.completeness == 1.0
+        # Loss forced retransmissions, i.e. the dedup path actually ran.
+        assert lossy.stats.dropped_messages > 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.overlays.baton import BatonOverlay
+from repro.overlays.baton import BatonOverlay, BatonPeer
 from repro.overlays.zcurve import ZCurve
 
 
@@ -18,6 +18,14 @@ class TestStructure:
     def test_size_validation(self):
         with pytest.raises(ValueError):
             BatonOverlay(0, np.zeros((0, 2)), zcurve=ZCurve(2, 4))
+
+    def test_fresh_peer_has_usable_store(self):
+        # Regression: BatonPeer used to defer store construction to the
+        # overlay's load pass, so a half-constructed peer crashed on any
+        # store access.  The store must exist (empty) from __init__.
+        peer = BatonPeer(0, 0, 0, dims=2)
+        assert len(peer.store) == 0
+        assert peer.store.array.shape == (0, 2)
 
     def test_ranges_partition_keyspace(self):
         overlay, _ = build()
