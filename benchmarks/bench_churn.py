@@ -70,7 +70,7 @@ def handler_for(kind, query):
 
 
 def run_one(overlay, kind, query, r, crash_fraction, seed, *,
-            drop_prob=0.05, jitter=1, horizon=64, replicas=None):
+            drop_prob=0.05, jitter=1, horizon=64, replicas=None, sink=None):
     plan = FaultPlan.churn(overlay, crash_fraction=crash_fraction,
                            seed=seed, horizon=horizon,
                            drop_prob=drop_prob, jitter=jitter)
@@ -78,7 +78,7 @@ def run_one(overlay, kind, query, r, crash_fraction, seed, *,
     initiator = overlay.random_peer(np.random.default_rng(seed))
     return resilient_ripple(initiator, handler, r,
                             restriction=overlay.domain(), faults=plan,
-                            replicas=replicas)
+                            replicas=replicas, sink=sink)
 
 
 # -- pytest-benchmark sweep --------------------------------------------------
@@ -257,6 +257,10 @@ def main(argv=None):
     parser.add_argument("--jitter", type=int, default=1)
     parser.add_argument("--out", type=str, default=None,
                         help="write JSON rows here instead of stdout")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                        help="additionally record one supervised query "
+                             "under churn with a trace sink and export it "
+                             "(.jsonl = JSONL records, else Perfetto JSON)")
     args = parser.parse_args(argv)
 
     log = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
@@ -269,6 +273,25 @@ def main(argv=None):
                       replication=args.replicas, drop_prob=args.drop,
                       jitter=args.jitter)
     rows = sweep(**config)
+
+    if args.trace_out:
+        from repro.obs import QueryTrace, write_jsonl, write_perfetto
+        from repro.obs.traceview import render
+
+        trace = QueryTrace()
+        overlay = build_overlay("midas", peers=config["peers"],
+                                tuples=config["tuples"],
+                                seed=config["seeds"][0])
+        run_one(overlay, "midas", "range", 0, config["crash_fractions"][-1],
+                seed=config["seeds"][0] + 1000,
+                drop_prob=config["drop_prob"], jitter=config["jitter"],
+                sink=trace)
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(trace, args.trace_out)
+        else:
+            write_perfetto(trace, args.trace_out)
+        log(f"wrote churn trace to {args.trace_out}")
+        log(render(trace))
 
     if args.record:
         # the baseline covers the smoke config too, so the CI smoke run

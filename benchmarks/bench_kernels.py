@@ -154,12 +154,22 @@ def legacy_mode():
 # -- timing helpers ----------------------------------------------------------
 
 
+def _wallclock():
+    """Monotonic seconds; this benchmark measures real kernel wall time.
+
+    The kernels-vs-legacy gate is the codebase's sanctioned wall-clock
+    consumer outside the experiment runner; RPL002 allowlists exactly
+    this helper shape.
+    """
+    return time.perf_counter()
+
+
 def best_of(fn, reps):
     best, result = float("inf"), None
     for _ in range(reps):
-        start = time.perf_counter()
+        start = _wallclock()
         result = fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, _wallclock() - start)
     return best, result
 
 

@@ -37,6 +37,8 @@ from .net.context import QueryResult, QueryStats
 from .net.detector import FailureDetector
 from .net.eventsim import SimulationBudgetExceeded, event_driven_ripple
 from .net.faults import FaultPlan, resilient_ripple
+from .obs import (MetricsRegistry, NullSink, QueryTrace, TraceSink,
+                  critical_path, metrics_of, replay)
 from .overlays.baton import BatonOverlay, BatonPeer
 from .overlays.can import CanOverlay, CanPeer
 from .overlays.chord import ChordOverlay, ChordPeer
@@ -68,14 +70,17 @@ __all__ = [
     "LinearScore",
     "Link",
     "LocalStore",
+    "MetricsRegistry",
     "MidasOverlay",
     "MidasPeer",
     "NearestScore",
+    "NullSink",
     "Point",
     "PromotedPeer",
     "QueryHandler",
     "QueryResult",
     "QueryStats",
+    "QueryTrace",
     "RangeHandler",
     "Rect",
     "RectRegion",
@@ -88,14 +93,18 @@ __all__ = [
     "SimulationBudgetExceeded",
     "SkylineHandler",
     "TopKHandler",
+    "TraceSink",
     "ZCurve",
+    "critical_path",
     "distributed_skyline",
     "distributed_topk",
     "domain_region",
     "dominates",
     "event_driven_ripple",
     "greedy_diversify",
+    "metrics_of",
     "physical_id",
+    "replay",
     "resilient_ripple",
     "run_fast",
     "run_ripple",

@@ -9,7 +9,7 @@ in ``docs/STATIC_ANALYSIS.md``):
 ==========  ===========================================================
 rule        invariant
 ==========  ===========================================================
-``RPL001``  no unseeded randomness inside ``src/repro`` (replay)
+``RPL001``  no unseeded randomness in shipped code (replay)
 ``RPL002``  no wall-clock reads outside a ``_wallclock`` helper
 ``RPL003``  no access to ``LocalStore`` internals outside the store
 ``RPL004``  ``QueryHandler`` subclasses implement the full protocol
@@ -18,7 +18,14 @@ rule        invariant
 ``RPL007``  no exact float equality on computed kernel expressions
 ``RPL008``  ``__all__`` is present in packages and every name resolves
 ``RPL009``  ``# type: ignore`` must be narrow and carry a justification
+``RPL010``  trace-sink overrides must not mutate ``QueryContext`` state
 ==========  ===========================================================
+
+Rules RPL001/002/003/004/006/009/010 apply to ``src/repro``,
+``benchmarks/``, and ``tools/`` alike (the simulation invariants bind
+benchmark drivers exactly as hard as library code); RPL005 is scoped to
+``repro/overlays``, RPL007 to the numeric kernel modules, RPL008 to the
+``repro`` package tree.
 
 Findings print as ``path:line:col: RPLxxx message`` (or as GitHub
 problem-matcher ``::error`` lines with ``--format github``) and the
@@ -168,6 +175,13 @@ def _in_scope(module: ParsedModule, prefixes: tuple[str, ...]) -> bool:
                for p in prefixes)
 
 
+#: Where the general-purpose invariants apply: the shipped package plus
+#: the benchmark drivers and repo scripts that feed CI numbers.  A flaky
+#: benchmark corrupts the regression baselines exactly like flaky
+#: library code corrupts answers.
+_SHARED_SCOPE = ("repro", "benchmarks", "tools")
+
+
 def _dotted(node: ast.AST) -> str | None:
     """``a.b.c`` for an Attribute/Name chain, else None."""
     parts: list[str] = []
@@ -207,7 +221,7 @@ _NP_RANDOM_ALLOWED = frozenset({
 
 
 def _check_rpl001(module: ParsedModule) -> Iterator[Finding]:
-    """RPL001: no unseeded randomness in ``src/repro``.
+    """RPL001: no unseeded randomness in shipped code.
 
     Replay under a seeded ``FaultPlan`` is bit-identical only while every
     random draw flows from an explicitly seeded ``np.random.Generator``
@@ -215,7 +229,7 @@ def _check_rpl001(module: ParsedModule) -> Iterator[Finding]:
     The process-global ``random`` module and the legacy ``np.random.<fn>``
     module-level draws are hidden global state and are banned outright.
     """
-    if not _in_scope(module, ("repro",)):
+    if not _in_scope(module, _SHARED_SCOPE):
         return
     for node in ast.walk(module.tree):
         if isinstance(node, ast.Import):
@@ -271,7 +285,7 @@ def _check_rpl002(module: ParsedModule) -> Iterator[Finding]:
     ``_wallclock()`` helper, which keeps every real clock read greppable
     and explicitly allowlisted.
     """
-    if not _in_scope(module, ("repro",)):
+    if not _in_scope(module, _SHARED_SCOPE):
         return
     for node, functions in _walk_with_function_stack(module.tree):
         if _WALLCLOCK_HELPER in functions:
@@ -323,7 +337,8 @@ def _check_rpl003(module: ParsedModule) -> Iterator[Finding]:
     maintenance methods — from outside ``repro/common/store.py`` bypasses
     that machinery and silently serves stale cached kernels.
     """
-    if not _in_scope(module, ("repro",)) or module.package == _STORE_MODULE:
+    if not _in_scope(module, _SHARED_SCOPE) \
+            or module.package == _STORE_MODULE:
         return
     for node in ast.walk(module.tree):
         if isinstance(node, ast.Attribute) and node.attr in _STORE_FIELDS:
@@ -397,7 +412,7 @@ def _check_rpl004(module: ParsedModule) -> Iterator[Finding]:
     fault-injected simulation.  This rule checks presence and positional
     arity of every protocol method at parse time.
     """
-    if not _in_scope(module, ("repro",)):
+    if not _in_scope(module, _SHARED_SCOPE):
         return
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.ClassDef):
@@ -533,7 +548,7 @@ def _check_rpl006(module: ParsedModule) -> Iterator[Finding]:
     ``DuplicateVisitError`` / ``SimulationBudgetExceeded`` and the other
     loud invariant guards this codebase relies on failing fast.
     """
-    if not _in_scope(module, ("repro",)):
+    if not _in_scope(module, _SHARED_SCOPE):
         return
     for node in ast.walk(module.tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -723,7 +738,7 @@ def _check_rpl009(module: ParsedModule) -> Iterator[Finding]:
     i.e. an explicit error-code list plus a trailing comment saying why
     the checker is wrong (or why the dynamic idiom is intentional).
     """
-    if not _in_scope(module, ("repro",)):
+    if not _in_scope(module, _SHARED_SCOPE):
         return
     for number, col, text in module.comments:
         match = _IGNORE_RE.search(text)
@@ -747,6 +762,105 @@ def _check_rpl009(module: ParsedModule) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPL010 -- trace sinks observe queries, they never drive them
+# ---------------------------------------------------------------------------
+
+#: The TraceSink protocol surface (see ``repro/obs/trace.py``).
+_SINK_METHODS = frozenset({"begin_span", "end_span", "event", "on_stats"})
+#: Base-class names that mark a class as a sink implementation.
+_SINK_BASES = ("TraceSink", "NullSink", "QueryTrace")
+#: QueryContext methods that mutate query accounting (``net/context.py``).
+_CTX_MUTATORS = frozenset({
+    "begin_processing", "on_forward", "on_response", "on_answer",
+    "on_timeout", "on_retry", "on_reroute", "on_drop", "on_ack",
+    "on_unreachable", "on_region_recovered", "on_replica_read", "note_time",
+})
+#: Methods that mutate a container in place.
+_MUTATING_CALLS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault",
+})
+
+
+def _chain_root(node: ast.AST) -> str | None:
+    """The leftmost ``Name`` of an attribute/subscript chain, else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_sink_class(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        dotted = _dotted(base)
+        if dotted is not None and dotted.split(".")[-1].endswith(_SINK_BASES):
+            return True
+    defined = {item.name for item in cls.body
+               if isinstance(item, ast.FunctionDef)}
+    return len(defined & _SINK_METHODS) >= 2
+
+
+def _check_rpl010(module: ParsedModule) -> Iterator[Finding]:
+    """RPL010: trace-sink overrides must not mutate ``QueryContext`` state.
+
+    The observability layer is passive by contract: with any sink
+    attached, answers and ``QueryStats`` stay bit-identical to a
+    ``NullSink`` run (the zero-overhead guarantee, property-tested in
+    ``tests/obs``).  A sink method that calls a ``QueryContext`` counter
+    mutator — or writes through any object handed to it — silently skews
+    the very statistics the trace is supposed to reproduce.  Flagged
+    inside ``begin_span``/``end_span``/``event``/``on_stats`` overrides:
+    calls to context mutators, attribute/item assignment rooted at a
+    method parameter, and in-place container mutation of a parameter.
+    """
+    if not _in_scope(module, _SHARED_SCOPE):
+        return
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef) or not _is_sink_class(cls):
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, ast.FunctionDef) or \
+                    fn.name not in _SINK_METHODS:
+                continue
+            params = {arg.arg for arg in (*fn.args.posonlyargs,
+                                          *fn.args.args,
+                                          *fn.args.kwonlyargs)}
+            params.discard("self")
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute):
+                    attr = node.func.attr
+                    root = _chain_root(node.func.value)
+                    if attr in _CTX_MUTATORS:
+                        yield _finding(
+                            module, node, "RPL010",
+                            f"sink method '{cls.name}.{fn.name}' calls "
+                            f"QueryContext mutator '{attr}()'; sinks "
+                            "observe queries, they must never drive the "
+                            "accounting they record")
+                    elif attr in _MUTATING_CALLS and root in params:
+                        yield _finding(
+                            module, node, "RPL010",
+                            f"sink method '{cls.name}.{fn.name}' mutates "
+                            f"parameter '{root}' via '.{attr}()'; record a "
+                            "copy instead of editing shared query state")
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) \
+                        else [node.target]
+                    for target in targets:
+                        if not isinstance(target, (ast.Attribute,
+                                                   ast.Subscript)):
+                            continue
+                        root = _chain_root(target)
+                        if root in params:
+                            yield _finding(
+                                module, target, "RPL010",
+                                f"sink method '{cls.name}.{fn.name}' "
+                                f"assigns through parameter '{root}'; "
+                                "sinks must treat recorded objects as "
+                                "read-only")
+
+
+# ---------------------------------------------------------------------------
 # Registry and driver
 # ---------------------------------------------------------------------------
 
@@ -763,6 +877,7 @@ RULES: tuple[Rule, ...] = tuple(
         ("RPL007", _check_rpl007),
         ("RPL008", _check_rpl008),
         ("RPL009", _check_rpl009),
+        ("RPL010", _check_rpl010),
     ]
 )
 
@@ -789,12 +904,25 @@ def lint_source(source: str, *, virtual_path: str,
                        rules)
 
 
+def _is_python_script(path: Path) -> bool:
+    """Extensionless executables with a python shebang (``tools/ripplelint``)."""
+    if path.suffix or not path.is_file():
+        return False
+    try:
+        with path.open("rb") as fh:
+            first = fh.readline(128)
+    except OSError:  # unreadable special file; not lintable anyway
+        return False
+    return first.startswith(b"#!") and b"python" in first
+
+
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
     for entry in paths:
         path = Path(entry)
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
+            scripts = (p for p in path.rglob("*") if _is_python_script(p))
+            yield from sorted({*path.rglob("*.py"), *scripts})
+        elif path.suffix == ".py" or _is_python_script(path):
             yield path
 
 

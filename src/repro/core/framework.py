@@ -34,6 +34,7 @@ from typing import Any, Hashable, Protocol, Sequence, runtime_checkable
 
 from ..common.store import LocalStore
 from ..net.context import QueryContext, QueryResult
+from ..obs.trace import TraceSink, state_size
 from .handler import QueryHandler
 from .regions import Region
 
@@ -102,6 +103,7 @@ def run_ripple(
     restriction: Region,
     strict: bool = True,
     initial_state: Any | None = None,
+    sink: TraceSink | None = None,
 ) -> QueryResult:
     """Process a rank query with ripple parameter ``r`` (Algorithm 3).
 
@@ -111,9 +113,12 @@ def run_ripple(
     (conservative covers, e.g. CAN frustums).  ``initial_state`` overrides
     the handler's neutral initial global state — the paper's
     diversification loop passes an explicit threshold this way
-    (Algorithm 23, line 10).
+    (Algorithm 23, line 10).  ``sink`` attaches a trace recorder (see
+    :mod:`repro.obs.trace`); the default records nothing at zero cost.
     """
     ctx = QueryContext(strict=strict)
+    if sink is not None:
+        ctx.sink = sink
     return execute(initiator, handler, r, restriction=restriction, ctx=ctx,
                    initial_state=initial_state)
 
@@ -128,6 +133,7 @@ def execute(
     initial_state: Any | None = None,
     base_latency: int = 0,
     answers_to: Hashable | None = None,
+    parent_span: int | None = None,
 ) -> QueryResult:
     """Low-level entry point: run Algorithm 3 over a caller-owned context.
 
@@ -136,6 +142,9 @@ def execute(
     ``ctx``, account the hops already spent in ``base_latency``, and name
     the peer that ultimately receives the answers in ``answers_to`` (the
     real initiator, when the ripple phase starts at a routed-to seed).
+    When a trace sink is attached, ``base_latency`` doubles as the virtual
+    start time of the ripple phase and ``parent_span`` nests its spans
+    under the driver's query span.
     """
     if r < 0:
         raise ValueError(f"ripple parameter must be non-negative, got {r}")
@@ -143,23 +152,26 @@ def execute(
     initiator_id = initiator.peer_id if answers_to is None else answers_to
     _, latency = _process(ctx, handler, initiator, state,
                           restriction, r, initiator_id=initiator_id,
-                          top_level=True)
+                          top_level=True, base_time=base_latency,
+                          parent_span=parent_span)
     answer = handler.finalize(ctx.collected_answers)
     return QueryResult(answer=answer, stats=ctx.stats(base_latency + latency))
 
 
 def run_fast(initiator: PeerLike, handler: QueryHandler, *,
-             restriction: Region, strict: bool = True) -> QueryResult:
+             restriction: Region, strict: bool = True,
+             sink: TraceSink | None = None) -> QueryResult:
     """Latency-optimal processing (Algorithm 1): ripple with ``r = 0``."""
     return run_ripple(initiator, handler, 0,
-                      restriction=restriction, strict=strict)
+                      restriction=restriction, strict=strict, sink=sink)
 
 
 def run_slow(initiator: PeerLike, handler: QueryHandler, *,
-             restriction: Region, strict: bool = True) -> QueryResult:
+             restriction: Region, strict: bool = True,
+             sink: TraceSink | None = None) -> QueryResult:
     """Communication-optimal processing (Algorithm 2): unbounded ``r``."""
     return run_ripple(initiator, handler, SLOW,
-                      restriction=restriction, strict=strict)
+                      restriction=restriction, strict=strict, sink=sink)
 
 
 class _Frame:
@@ -177,11 +189,12 @@ class _Frame:
 
     __slots__ = ("peer", "received_state", "restriction", "r", "top_level",
                  "processes", "local_state", "gstate", "links", "index",
-                 "latency", "upstream")
+                 "latency", "upstream", "t0", "span")
 
     def __init__(self, ctx: QueryContext, handler: QueryHandler,
                  peer: PeerLike, received_state: Any, restriction: Region,
-                 r: int, top_level: bool = False) -> None:
+                 r: int, top_level: bool = False, t0: int = 0,
+                 parent_span: int | None = None) -> None:
         self.peer = peer
         self.received_state = received_state
         self.restriction = restriction
@@ -189,6 +202,10 @@ class _Frame:
         self.top_level = top_level
         self.index = 0
         self.latency = 0
+        #: Virtual arrival time of the query at this peer (hops since the
+        #: query began), deriving trace timestamps from the analytic
+        #: latency model; see :mod:`repro.obs.trace`.
+        self.t0 = t0
         self.processes = ctx.begin_processing(peer.peer_id)
         if self.processes:
             self.local_state = handler.compute_local_state(
@@ -197,6 +214,13 @@ class _Frame:
             self.local_state = handler.neutral_local_state()
         self.gstate = handler.compute_global_state(received_state,
                                                    self.local_state)
+        if ctx.sink.enabled:
+            self.span = ctx.sink.begin_span(
+                "process", peer.peer_id, t0, parent=parent_span,
+                region=repr(restriction), r=r, processes=self.processes,
+                state_size=state_size(self.local_state))
+        else:
+            self.span = 0
         if r > 0:
             self.links: list[Link] = sorted(
                 peer.links(),
@@ -221,8 +245,15 @@ class _Frame:
             if not handler.is_link_relevant(sub, self.gstate):
                 continue
             ctx.on_forward()
+            # Sequential frames forward after folding earlier children
+            # (latency so far elapsed); parallel forwards all leave at t0.
+            send_t = self.t0 + (self.latency if self.r > 0 else 0)
+            if ctx.sink.enabled:
+                ctx.sink.event("forward", send_t, span=self.span,
+                               target=link.peer.peer_id)
             return _Frame(ctx, handler, link.peer, self.gstate, sub,
-                          self.r - 1 if self.r > 0 else 0)
+                          self.r - 1 if self.r > 0 else 0,
+                          t0=send_t + 1, parent_span=self.span or None)
         return None
 
     def receive(self, ctx: QueryContext, handler: QueryHandler,
@@ -231,6 +262,9 @@ class _Frame:
         if self.r > 0:
             ctx.on_response(len(child_states))
             self.latency += 1 + child_latency
+            if ctx.sink.enabled:
+                ctx.sink.event("response", self.t0 + self.latency,
+                               span=self.span, count=len(child_states))
             self.local_state = handler.update_local_state(
                 [self.local_state, *child_states])
             self.gstate = handler.compute_global_state(self.received_state,
@@ -250,7 +284,14 @@ class _Frame:
                 # network.
                 ctx.collected_answers.append(answer)
             else:
-                ctx.on_answer(answer, handler.answer_size(answer))
+                size = handler.answer_size(answer)
+                ctx.on_answer(answer, size)
+                if ctx.sink.enabled and size > 0:
+                    ctx.sink.event("answer", self.t0 + self.latency,
+                                   span=self.span, size=size)
+        if ctx.sink.enabled:
+            ctx.sink.end_span(self.span, self.t0 + self.latency,
+                              state_size=state_size(self.local_state))
         if self.r > 0:
             upstream = [self.local_state] \
                 if self.processes or not self.top_level else []
@@ -269,6 +310,8 @@ def _process(
     *,
     initiator_id: Hashable,
     top_level: bool = False,
+    base_time: int = 0,
+    parent_span: int | None = None,
 ) -> tuple[list[Any], int]:
     """Algorithm 3, evaluated depth-first over an explicit work stack.
 
@@ -279,7 +322,7 @@ def _process(
     subtree rooted at ``peer``.
     """
     stack = [_Frame(ctx, handler, peer, global_state, restriction, r,
-                    top_level)]
+                    top_level, t0=base_time, parent_span=parent_span)]
     while True:
         frame = stack[-1]
         child = frame.next_child(ctx, handler)

@@ -66,6 +66,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the rows as CSV to PATH")
     parser.add_argument("--chart", action="store_true",
                         help="render ASCII charts after the tables")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="record one representative query of the "
+                             "figure's family with a trace sink attached "
+                             "and export it (.jsonl = JSONL record stream, "
+                             "anything else = Perfetto trace_event JSON)")
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -96,6 +101,9 @@ def main(argv: list[str] | None = None) -> int:
             print_rows(rows)
             _extras(rows, args)
         print(f"# {target} finished in {_wallclock() - start:.1f}s\n")
+    if args.trace_out:
+        from .tracing import trace_figure
+        trace_figure(targets[-1], config, args.trace_out)
     return 0
 
 

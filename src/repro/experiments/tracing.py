@@ -1,0 +1,77 @@
+"""Record one representative traced query per figure family.
+
+``python -m repro.experiments fig7 --trace-out fig7.json`` regenerates the
+figure as usual and *additionally* runs a single query of the figure's
+family (top-k for fig4-6, skyline for fig7-8, diversification for
+fig9-12) with a recording :class:`~repro.obs.QueryTrace` attached, writes
+the trace next to the tables, and prints the critical-path summary.  The
+export format follows the file extension: ``.jsonl`` writes the flat
+JSONL record stream, anything else the Chrome/Perfetto ``trace_event``
+JSON (open it at ``ui.perfetto.dev``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.scoring import LinearScore
+from ..obs import QueryTrace, write_jsonl, write_perfetto
+from ..obs.traceview import render
+from ..queries.diversify import (DiversificationObjective, RippleDiversifier,
+                                 greedy_diversify)
+from ..queries.skyline import distributed_skyline
+from ..queries.topk import distributed_topk
+from .builders import build_midas, mirflickr, nba_min, nba_raw
+from .config import ExperimentConfig
+
+__all__ = ["FAMILIES", "trace_figure"]
+
+#: Figure target -> query family whose representative trace is recorded.
+FAMILIES = {
+    "fig4": "topk", "fig5": "topk", "fig6": "topk",
+    "lemmas": "topk", "ablation": "topk", "decreasing": "topk",
+    "fig7": "skyline", "fig8": "skyline",
+    "fig9": "diversify", "fig10": "diversify",
+    "fig11": "diversify", "fig12": "diversify",
+}
+
+
+def _run_traced(family: str, config: ExperimentConfig,
+                trace: QueryTrace) -> None:
+    seed = config.network_seeds[0]
+    rng = np.random.default_rng(seed)
+    if family == "diversify":
+        data = mirflickr(config, seed)
+        overlay = build_midas(data, config.div_default_size, seed)
+        objective = DiversificationObjective(
+            data[int(rng.integers(len(data)))], config.default_lambda, p=1)
+        engine = RippleDiversifier(overlay, overlay.random_peer(rng),
+                                   r=0, sink=trace)
+        greedy_diversify(engine, objective, config.div_k,
+                         max_iters=config.div_max_iters)
+        return
+    if family == "skyline":
+        data = nba_min(config, seed)
+        overlay = build_midas(data, config.default_size, seed)
+        distributed_skyline(overlay.random_peer(rng), data.shape[1],
+                            restriction=overlay.domain(), r=0, sink=trace)
+        return
+    data = nba_raw(config, seed)
+    overlay = build_midas(data, config.default_size, seed)
+    distributed_topk(overlay.random_peer(rng),
+                     LinearScore([1.0] * data.shape[1]),
+                     config.default_k, restriction=overlay.domain(),
+                     r=0, sink=trace)
+
+
+def trace_figure(target: str, config: ExperimentConfig, path: str) -> None:
+    """Record a representative ``target``-family query and export it."""
+    family = FAMILIES.get(target, "topk")
+    trace = QueryTrace()
+    _run_traced(family, config, trace)
+    if path.endswith(".jsonl"):
+        write_jsonl(trace, path)
+    else:
+        write_perfetto(trace, path)
+    print(f"# trace ({family}) written to {path}")
+    print(render(trace))

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Hashable
 
+from ..obs.trace import NULL_SINK, TraceSink
+
 __all__ = ["QueryContext", "QueryStats", "QueryResult", "DuplicateVisitError"]
 
 
@@ -144,6 +146,11 @@ class QueryContext:
     #: happened; the latency of a resilient execution (control events such
     #: as cancelled timers must not stretch the critical path).
     last_activity: int = 0
+    #: Observability hook (see :mod:`repro.obs.trace`): the engines emit
+    #: hop-level spans and events here.  The default :data:`NULL_SINK`
+    #: is stateless and permanently disabled, so unobserved executions
+    #: pay one attribute test per instrumentation site and nothing else.
+    sink: TraceSink = NULL_SINK
 
     def begin_processing(self, peer_id: Hashable) -> bool:
         """Record a visit; return True when the peer processes local data.
@@ -214,7 +221,7 @@ class QueryContext:
         return max(0.0, min(1.0, fraction))
 
     def stats(self, latency: int) -> QueryStats:
-        return QueryStats(
+        collected = QueryStats(
             latency=latency,
             processed=len(self.processed),
             forward_messages=self.forward_messages,
@@ -231,3 +238,6 @@ class QueryContext:
             replica_reads=self.replica_reads,
             completeness=self.completeness(),
         )
+        if self.sink.enabled:
+            self.sink.on_stats(collected)
+        return collected

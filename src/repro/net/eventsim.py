@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable
 from ..core.framework import Link, PeerLike, SLOW, physical_id
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
+from ..obs.trace import TraceSink, state_size
 from .context import QueryContext, QueryResult, QueryStats
 from .routing import route_around
 
@@ -207,6 +208,10 @@ class _Invocation:
     _gone: bool = False
     _answered: bool = False
     _processes: bool = False
+    #: Trace causality (see :mod:`repro.obs.trace`): the span this
+    #: invocation nests under, and its own ``process`` span id.
+    parent_span: int | None = None
+    span: int = 0
 
     def start(self) -> None:
         faults = self.sim.faults
@@ -220,8 +225,9 @@ class _Invocation:
             self._gone = False
             self._answered = False
         processes = self.ctx.begin_processing(self.peer.peer_id)
-        if (processes and faults is not None
-                and physical_id(self.peer) != self.peer.peer_id):
+        replica_read = (processes and faults is not None
+                        and physical_id(self.peer) != self.peer.peer_id)
+        if replica_read:
             self.ctx.on_replica_read()
         if processes:
             self.local_state = self.handler.compute_local_state(
@@ -231,6 +237,16 @@ class _Invocation:
         self.global_state = self.handler.compute_global_state(
             self.received_state, self.local_state)
         self._processes = processes
+        sink = self.ctx.sink
+        if sink.enabled:
+            self.span = sink.begin_span(
+                "process", self.peer.peer_id, self.sim.now,
+                parent=self.parent_span, region=repr(self.restriction),
+                r=self.r, processes=processes,
+                state_size=state_size(self.local_state))
+            if replica_read:
+                sink.event("replica-read", self.sim.now, span=self.span,
+                           physical=physical_id(self.peer))
 
         if self.r > 0:
             self.pending = sorted(
@@ -289,9 +305,14 @@ class _Invocation:
             outstanding += 1
             if self.sim.faults is None:
                 self.ctx.on_forward()
+                if self.ctx.sink.enabled:
+                    self.ctx.sink.event("forward", self.sim.now,
+                                        span=self.span,
+                                        target=link.peer.peer_id)
                 child = _Invocation(self.sim, self.ctx, self.handler,
                                     link.peer, self.global_state, sub, 0,
-                                    self.initiator_id, child_done)
+                                    self.initiator_id, child_done,
+                                    parent_span=self.span or None)
                 self.sim.schedule(1, child.start)
             else:
                 _Attempt(self, link.peer, sub, 0,
@@ -312,10 +333,15 @@ class _Invocation:
                 continue
             if self.sim.faults is None:
                 self.ctx.on_forward()
+                if self.ctx.sink.enabled:
+                    self.ctx.sink.event("forward", self.sim.now,
+                                        span=self.span,
+                                        target=link.peer.peer_id)
                 child = _Invocation(self.sim, self.ctx, self.handler,
                                     link.peer, self.global_state, sub,
                                     self.r - 1, self.initiator_id,
-                                    self._on_response)
+                                    self._on_response,
+                                    parent_span=self.span or None)
                 self.sim.schedule(1, child.start)
             else:
                 _Attempt(self, link.peer, sub, self.r - 1,
@@ -328,6 +354,9 @@ class _Invocation:
         if self.sim.faults is not None and self._dead():
             return
         self.ctx.on_response(len(states))
+        if self.ctx.sink.enabled:
+            self.ctx.sink.event("response", self.sim.now, span=self.span,
+                                count=len(states))
         self.local_state = self.handler.update_local_state(
             [self.local_state, *states])
         self.global_state = self.handler.compute_global_state(
@@ -343,15 +372,23 @@ class _Invocation:
     # -- completion ----------------------------------------------------------
 
     def _finish(self, upstream: list[Any]) -> None:
+        sink = self.ctx.sink
         if self._processes:
             answer = self.handler.compute_local_answer(self.peer.store,
                                                        self.local_state)
             if self.peer.peer_id == self.initiator_id:
                 self.ctx.collected_answers.append(answer)
             else:
-                self.ctx.on_answer(answer, self.handler.answer_size(answer))
+                size = self.handler.answer_size(answer)
+                self.ctx.on_answer(answer, size)
+                if sink.enabled and size > 0:
+                    sink.event("answer", self.sim.now, span=self.span,
+                               size=size)
             if self.sim.faults is not None:
                 self._answered = True
+        if sink.enabled:
+            sink.end_span(self.span, self.sim.now,
+                          state_size=state_size(self.local_state))
         # responses travel without propagation delay (see module doc)
         self.on_done(upstream)
 
@@ -388,7 +425,7 @@ class _Attempt:
     __slots__ = ("parent", "sim", "ctx", "faults", "target", "sub", "r",
                  "route_depth", "request_id", "tries", "watchdogs", "gen",
                  "acked", "done", "on_states", "on_give_up", "extra_delay",
-                 "tried")
+                 "tried", "span")
 
     def __init__(self, parent: _Invocation, target: PeerLike, sub: Region,
                  r: int, on_states: Callable[[list[Any]], None],
@@ -419,16 +456,30 @@ class _Attempt:
         #: Physical ids of replica holders this region was already issued
         #: against; bounds replica recovery (the holder pool only shrinks).
         self.tried = tried
+        #: Trace span covering this attempt's whole supervised lifetime.
+        self.span = 0
 
     # -- forward + ack ----------------------------------------------------
 
     def send(self) -> None:
+        sink = self.ctx.sink
         if self.tries == 0:
+            if sink.enabled:
+                self.span = sink.begin_span(
+                    "attempt", self.target.peer_id, self.sim.now,
+                    parent=self.parent.span or None, region=repr(self.sub),
+                    r=self.r, route_depth=self.route_depth)
             self._maybe_redirect()
         self.tries += 1
         if self.tries > 1:
             self.ctx.on_retry()
+            if sink.enabled:
+                sink.event("retry", self.sim.now, span=self.span,
+                           attempt=self.tries)
         self.ctx.on_forward()
+        if sink.enabled:
+            sink.event("forward", self.sim.now, span=self.span,
+                       target=self.target.peer_id)
         self.acked = False
         self.gen += 1
         gen = self.gen
@@ -458,17 +509,28 @@ class _Attempt:
             self.target = promoted
             self.tried = self.tried | {promoted.physical_id}
             self.ctx.on_region_recovered()
+            if self.ctx.sink.enabled:
+                self.ctx.sink.event("region-recovered", self.sim.now,
+                                    span=self.span, proactive=True,
+                                    stand_in=promoted.physical_id)
 
     def _deliver(self, message: int) -> None:
         if self.done:
             return  # stale retransmission of an already-settled request
         faults = self.faults
+        sink = self.ctx.sink
         if faults.drops(message):
             self.ctx.on_drop()
+            if sink.enabled:
+                sink.event("drop", self.sim.now, span=self.span,
+                           what="forward")
             return
         now = self.sim.now
         if not faults.alive(physical_id(self.target), now):
             self.ctx.on_drop()  # swallowed by a dead peer
+            if sink.enabled:
+                sink.event("drop", self.sim.now, span=self.span,
+                           what="dead-target")
             return
         self._send_ack()
         incarnation = faults.incarnation(physical_id(self.target), now)
@@ -482,13 +544,19 @@ class _Attempt:
                             self.target, self.parent.global_state, self.sub,
                             self.r, self.parent.initiator_id,
                             self._child_finished,
-                            route_depth=self.route_depth)
+                            route_depth=self.route_depth,
+                            parent_span=self.span or None)
         child.start()
 
     def _send_ack(self) -> None:
         self.ctx.on_ack()
+        sink = self.ctx.sink
+        if sink.enabled:
+            sink.event("ack", self.sim.now, span=self.span)
         if self.faults.drops(self.sim.new_message_id()):
             self.ctx.on_drop()  # lost ack: the sender will retry, we dedup
+            if sink.enabled:
+                sink.event("drop", self.sim.now, span=self.span, what="ack")
             return
         if self.done or self.acked or self.parent._dead():
             return
@@ -502,8 +570,12 @@ class _Attempt:
             return
         self.ctx.on_timeout()
         detector = self.sim.detector
-        if (detector is not None
-                and detector.is_dead(physical_id(self.target))):
+        confirmed_dead = (detector is not None
+                          and detector.is_dead(physical_id(self.target)))
+        if self.ctx.sink.enabled:
+            self.ctx.sink.event("timeout", self.sim.now, span=self.span,
+                                what="ack", detector_dead=confirmed_dead)
+        if confirmed_dead:
             # Confirmed dead: retrying the same target is pointless.
             self._fail()
         elif self.tries <= self.faults.max_retries:
@@ -526,6 +598,9 @@ class _Attempt:
         self.watchdogs += 1
         if self.watchdogs > self.faults.max_watchdogs:
             self.ctx.on_timeout()
+            if self.ctx.sink.enabled:
+                self.ctx.sink.event("timeout", self.sim.now, span=self.span,
+                                    what="watchdog-exhausted")
             self._fail()
             return
         faults = self.faults
@@ -538,7 +613,12 @@ class _Attempt:
             # amnesia): the in-flight execution is gone, start over.
             self.ctx.on_timeout()
             detector = self.sim.detector
-            if detector is not None and detector.is_dead(pid):
+            confirmed_dead = detector is not None and detector.is_dead(pid)
+            if self.ctx.sink.enabled:
+                self.ctx.sink.event("timeout", self.sim.now, span=self.span,
+                                    what="remote-crash",
+                                    detector_dead=confirmed_dead)
+            if confirmed_dead:
                 self._fail()
             elif self.tries <= faults.max_retries:
                 self.send()
@@ -564,12 +644,18 @@ class _Attempt:
             return
         if self.faults.drops(self.sim.new_message_id()):
             self.ctx.on_drop()  # a watchdog will ask again
+            if self.ctx.sink.enabled:
+                self.ctx.sink.event("drop", self.sim.now, span=self.span,
+                                    what="response")
             return
         if self.parent._dead():
             return
         self.done = True
         self.gen += 1
         self.ctx.note_time(self.sim.now)
+        if self.ctx.sink.enabled:
+            self.ctx.sink.end_span(self.span, self.sim.now, status="ok",
+                                   tries=self.tries)
         self.on_states(list(states))
 
     # -- failure ----------------------------------------------------------
@@ -588,6 +674,14 @@ class _Attempt:
                 self.ctx.on_reroute()
                 self.done = True
                 self.gen += 1
+                if self.ctx.sink.enabled:
+                    self.ctx.sink.event("reroute", self.sim.now,
+                                        span=self.span,
+                                        via=alternate.peer_id,
+                                        relay_hops=max(0, hops - 1))
+                    self.ctx.sink.end_span(self.span, self.sim.now,
+                                           status="rerouted",
+                                           tries=self.tries)
                 relay = _Attempt(self.parent, alternate, self.sub, self.r,
                                  self.on_states, self.on_give_up,
                                  route_depth=self.route_depth + 1,
@@ -621,6 +715,13 @@ class _Attempt:
         self.ctx.on_region_recovered()
         self.done = True
         self.gen += 1
+        if self.ctx.sink.enabled:
+            self.ctx.sink.event("region-recovered", self.sim.now,
+                                span=self.span, proactive=False,
+                                stand_in=promoted.physical_id)
+            self.ctx.sink.end_span(self.span, self.sim.now,
+                                   status="recovered-via-replica",
+                                   tries=self.tries)
         relay = _Attempt(self.parent, promoted, self.sub, self.r,
                          self.on_states, self.on_give_up,
                          route_depth=self.route_depth,
@@ -633,6 +734,11 @@ class _Attempt:
         self.gen += 1
         self.ctx.on_unreachable(region_volume(self.sub))
         self.ctx.note_time(self.sim.now)
+        if self.ctx.sink.enabled:
+            self.ctx.sink.event("unreachable", self.sim.now, span=self.span,
+                                volume=region_volume(self.sub))
+            self.ctx.sink.end_span(self.span, self.sim.now,
+                                   status="abandoned", tries=self.tries)
         self.on_give_up()
 
 
@@ -643,16 +749,20 @@ def event_driven_ripple(
     *,
     restriction: Region,
     strict: bool = True,
+    sink: TraceSink | None = None,
 ) -> QueryResult:
     """Run Algorithm 3 through the discrete-event engine.
 
     Semantically identical to :func:`repro.core.framework.run_ripple`;
     latency falls out of message timestamps instead of the recursive
     max/sum computation.  For execution under injected faults see
-    :func:`repro.net.faults.resilient_ripple`.
+    :func:`repro.net.faults.resilient_ripple`.  ``sink`` attaches a trace
+    recorder (see :mod:`repro.obs.trace`).
     """
     sim = EventSimulator()
     ctx = QueryContext(strict=strict)
+    if sink is not None:
+        ctx.sink = sink
     sim.context = ctx
     root = _Invocation(sim, ctx, handler, initiator,
                        handler.initial_state(), restriction,

@@ -53,6 +53,7 @@ from ..common.hashing import mix
 from ..core.framework import SLOW, OverlayLike, PeerLike
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
+from ..obs.trace import TraceSink
 from .context import QueryContext, QueryResult
 from .detector import FailureDetector
 from .eventsim import EventSimulator, _Invocation
@@ -244,6 +245,7 @@ def resilient_ripple(
     faults: FaultPlan | None = None,
     replicas: "ReplicaDirectory | None" = None,
     max_events: int | None = None,
+    sink: "TraceSink | None" = None,
 ) -> QueryResult:
     """Run Algorithm 3 through the fault-supervised event-driven engine.
 
@@ -276,6 +278,8 @@ def resilient_ripple(
     sim = EventSimulator(faults=plan) if max_events is None else \
         EventSimulator(faults=plan, max_events=max_events)
     ctx = QueryContext(strict=False)
+    if sink is not None:
+        ctx.sink = sink
     ctx.restriction_volume = region_volume(restriction)
     sim.context = ctx
     detector = None

@@ -1,0 +1,202 @@
+"""Trace exporters: JSONL archives and Chrome/Perfetto ``trace_event`` JSON.
+
+Two formats, two purposes:
+
+* **JSONL** (:func:`write_jsonl` / :func:`load_jsonl`) — a lossless,
+  line-per-record archive of a :class:`~repro.obs.trace.QueryTrace`.
+  Round-trips through :func:`load_jsonl`, so archived traces replay
+  (:func:`repro.obs.trace.replay`) and summarize
+  (``python -m repro.obs.traceview``) exactly like live ones.
+* **Perfetto / Chrome** (:func:`to_perfetto` / :func:`write_perfetto`) —
+  the ``trace_event`` JSON consumed by https://ui.perfetto.dev and
+  ``chrome://tracing``: every span becomes a complete (``ph: "X"``)
+  event on its peer's track, every point event an instant (``ph: "i"``)
+  mark, so a query renders as a flame-graph of the overlay walk.
+
+Simulation time is unitless hops; the Perfetto export maps one hop to
+1 ms (1000 µs timestamp units) so the UI shows readable durations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Hashable, Mapping
+
+from .trace import PointEvent, QueryTrace, Span
+
+__all__ = [
+    "load_jsonl",
+    "to_jsonl_records",
+    "to_perfetto",
+    "write_jsonl",
+    "write_perfetto",
+]
+
+#: Perfetto timestamps are microseconds; one simulated hop maps to 1 ms.
+_HOP_US = 1000
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+def to_jsonl_records(trace: QueryTrace) -> list[dict[str, Any]]:
+    """The trace as a list of JSON-ready record dicts (one per line)."""
+    records: list[dict[str, Any]] = [
+        {"type": "meta", "version": _FORMAT_VERSION,
+         "spans": len(trace.spans), "events": len(trace.events)}]
+    for span in trace.spans:
+        records.append({
+            "type": "span",
+            "id": span.span_id,
+            "kind": span.kind,
+            "peer": _jsonable(span.peer),
+            "begin": span.begin,
+            "end": span.end,
+            "parent": span.parent_id,
+            "region": span.region,
+            "attrs": _jsonable(span.attrs),
+        })
+    for event in trace.events:
+        records.append({
+            "type": "event",
+            "kind": event.kind,
+            "t": event.t,
+            "span": event.span_id,
+            "count": event.count,
+            "attrs": _jsonable(event.attrs),
+        })
+    for stats in trace.stats_records:
+        as_dict = getattr(stats, "as_dict", None)
+        payload = as_dict() if callable(as_dict) else _jsonable(stats)
+        records.append({"type": "stats", "stats": payload})
+    return records
+
+
+def write_jsonl(trace: QueryTrace, path: str | Path) -> Path:
+    """Write the trace as one JSON record per line; returns the path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as fh:
+        for record in to_jsonl_records(trace):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def load_jsonl(path: str | Path) -> QueryTrace:
+    """Rebuild a :class:`QueryTrace` from a :func:`write_jsonl` archive.
+
+    Peer ids come back as their JSON projection (ints and strings
+    survive; tuple ids return as lists turned into tuples); stats records
+    return as plain dicts.
+    """
+    trace = QueryTrace()
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                peer = record["peer"]
+                span = Span(int(record["id"]), str(record["kind"]),
+                            tuple(peer) if isinstance(peer, list) else peer,
+                            int(record["begin"]),
+                            parent_id=record.get("parent"),
+                            end=record.get("end"),
+                            region=record.get("region"),
+                            attrs=dict(record.get("attrs") or {}))
+                trace.spans.append(span)
+                trace._by_id[span.span_id] = span
+            elif kind == "event":
+                trace.events.append(PointEvent(
+                    str(record["kind"]), int(record["t"]),
+                    int(record.get("span") or 0),
+                    int(record.get("count", 1)),
+                    dict(record.get("attrs") or {})))
+            elif kind == "stats":
+                trace.stats_records.append(record["stats"])
+    next_id = 1 + max((span.span_id for span in trace.spans), default=0)
+    trace._next_id = itertools.count(next_id)
+    return trace
+
+
+def _track_ids(trace: QueryTrace) -> dict[Hashable, int]:
+    """Stable peer -> Perfetto thread-id mapping, in first-seen order."""
+    tracks: dict[Hashable, int] = {}
+    for span in trace.spans:
+        if span.peer not in tracks:
+            tracks[span.peer] = len(tracks) + 1
+    return tracks
+
+
+def to_perfetto(trace: QueryTrace) -> dict[str, Any]:
+    """The trace in Chrome/Perfetto ``trace_event`` JSON object format.
+
+    One process (the simulated overlay), one thread per peer; spans map
+    to complete events, point events to thread-scoped instants.  Open
+    spans (e.g. a crashed peer's execution) export with zero duration.
+    """
+    tracks = _track_ids(trace)
+    events: list[dict[str, Any]] = [{
+        "ph": "M", "pid": 1, "name": "process_name",
+        "args": {"name": "ripple overlay"},
+    }]
+    for peer, tid in tracks.items():
+        events.append({"ph": "M", "pid": 1, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": f"peer {peer!r}"}})
+    for span in trace.spans:
+        args: dict[str, Any] = {"span_id": span.span_id,
+                                "parent": span.parent_id}
+        if span.region is not None:
+            args["region"] = span.region
+        args.update({k: _jsonable(v) for k, v in span.attrs.items()})
+        events.append({
+            "name": span.kind,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": span.begin * _HOP_US,
+            "dur": max(0, span.duration) * _HOP_US,
+            "pid": 1,
+            "tid": tracks[span.peer],
+            "args": args,
+        })
+    for event in trace.events:
+        span = trace.get_span(event.span_id) if event.span_id else None
+        tid = tracks.get(span.peer, 0) if span is not None else 0
+        events.append({
+            "name": event.kind,
+            "cat": "mark",
+            "ph": "i",
+            "s": "t" if tid else "g",
+            "ts": event.t * _HOP_US,
+            "pid": 1,
+            "tid": tid,
+            "args": {"count": event.count,
+                     **{k: _jsonable(v) for k, v in event.attrs.items()}},
+        })
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "otherData": {"format_version": _FORMAT_VERSION,
+                      "time_unit": "1 hop = 1 ms"},
+    }
+
+
+def write_perfetto(trace: QueryTrace, path: str | Path) -> Path:
+    """Write Perfetto JSON (open in https://ui.perfetto.dev); returns path."""
+    target = Path(path)
+    target.write_text(json.dumps(to_perfetto(trace)), encoding="utf-8")
+    return target

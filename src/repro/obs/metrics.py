@@ -1,0 +1,194 @@
+"""Counters and fixed-bucket histograms over recorded query traces.
+
+A :class:`MetricsRegistry` is a tiny, dependency-free metrics surface
+(Prometheus-style naming): named monotonically increasing
+:class:`Counter` objects plus :class:`Histogram` objects with fixed upper
+bounds chosen at creation.  Fixed buckets keep observation O(#buckets)
+and make registries from different runs directly comparable —
+aggregating two runs is bucket-wise addition (:meth:`Histogram.merge`).
+
+:func:`metrics_of` derives the standard per-query distributions from a
+recorded :class:`~repro.obs.trace.QueryTrace`: per-peer message fan-out
+(how many forwards each peer originated — the congestion hot-spot view)
+and per-hop state snapshot sizes (how much certificate each hop carried
+— the bandwidth view), plus one counter per event kind.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, Iterable, Sequence
+
+from .trace import QueryTrace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_FANOUT_BUCKETS",
+    "DEFAULT_STATE_SIZE_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_of",
+]
+
+#: Powers of two up to the largest realistic link fan-out: MIDAS routing
+#: tables are O(log n), CAN zones have O(d) neighbors.
+DEFAULT_FANOUT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: State snapshots range from a scalar certificate (a few entries) to a
+#: partial skyline of hundreds of points times dimensions.
+DEFAULT_STATE_SIZE_BUCKETS: tuple[float, ...] = (
+    0, 4, 16, 64, 256, 1024, 4096)
+
+
+class Counter:
+    """A named monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations ``<=`` each bound.
+
+    ``bounds`` are the inclusive upper edges, strictly increasing; one
+    implicit overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_FANOUT_BUCKETS) -> None:
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(a >= b for a, b in zip(ordered, ordered[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile.
+
+        Conservative by construction (bucket edges, not interpolation);
+        the overflow bucket reports ``inf``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for bound, count in zip(self.bounds, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another run's histogram in (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"bucket mismatch: {self.bounds} vs {other.bounds}")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    def as_dict(self) -> dict[str, float | int | dict[str, int]]:
+        buckets = {f"le_{bound:g}": count
+                   for bound, count in zip(self.bounds, self.counts)}
+        buckets["overflow"] = self.counts[-1]
+        return {"count": self.total, "sum": self.sum, "buckets": buckets}
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.total}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms; lazily created, JSON-exportable."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        found = self.counters.get(name)
+        if found is None:
+            found = self.counters[name] = Counter(name)
+        return found
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_FANOUT_BUCKETS
+                  ) -> Histogram:
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram(name, bounds)
+        return found
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self.counters.items())},
+            "histograms": {name: histogram.as_dict()
+                           for name, histogram
+                           in sorted(self.histograms.items())},
+        }
+
+
+def metrics_of(trace: QueryTrace,
+               registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """The standard per-query distributions of a recorded trace.
+
+    Populates (and returns) ``registry``:
+
+    * ``events.<kind>`` counters — one per point-event kind;
+    * ``spans.<kind>`` counters — one per span kind;
+    * ``fanout.per_peer`` histogram — forwards originated per peer;
+    * ``state_size.per_hop`` histogram — the ``state_size`` attribute of
+      every ``process`` span (snapshot entries carried into each hop).
+    """
+    out = MetricsRegistry() if registry is None else registry
+    fanout: dict[Hashable, int] = {}
+    for event in trace.events:
+        out.counter(f"events.{event.kind}").inc(event.count)
+        if event.kind == "forward" and event.span_id:
+            span = trace.get_span(event.span_id)
+            if span is not None:
+                fanout[span.peer] = fanout.get(span.peer, 0) + 1
+    state_sizes = out.histogram("state_size.per_hop",
+                                DEFAULT_STATE_SIZE_BUCKETS)
+    for span in trace.spans:
+        out.counter(f"spans.{span.kind}").inc()
+        if span.kind == "process" and "state_size" in span.attrs:
+            state_sizes.observe(float(span.attrs["state_size"]))
+    out.histogram("fanout.per_peer",
+                  DEFAULT_FANOUT_BUCKETS).observe_many(
+        float(n) for n in fanout.values())
+    return out

@@ -359,12 +359,15 @@ class RippleDiversifier:
     """RIPPLE-based engine for single tuple diversification queries."""
 
     def __init__(self, overlay, initiator, *, r: int = 0,
-                 seeded: bool = True, strict: bool = True):
+                 seeded: bool = True, strict: bool = True, sink=None):
         self.overlay = overlay
         self.initiator = initiator
         self.r = r
         self.seeded = seeded
         self.strict = strict
+        #: Trace sink shared by every single-tuple sub-query; a recorded
+        #: diversification trace holds one root span per round.
+        self.sink = sink
 
     def solve_single(self, objective, members, *, tau=math.inf,
                      exclude=(), grow=False):
@@ -385,11 +388,11 @@ class RippleDiversifier:
             result = run_seeded(self.initiator, handler, self.r,
                                 restriction=restriction,
                                 seed_point=seed_point, strict=self.strict,
-                                initial_state=initial)
+                                initial_state=initial, sink=self.sink)
         else:
             result = run_ripple(self.initiator, handler, self.r,
                                 restriction=restriction, strict=self.strict,
-                                initial_state=initial)
+                                initial_state=initial, sink=self.sink)
         return result.answer, result.stats
 
 

@@ -31,6 +31,7 @@ from ..core.handler import QueryHandler
 from ..core.regions import Region
 from ..net.context import QueryContext, QueryResult
 from ..net.routing import greedy_route
+from ..obs.trace import TraceSink, state_size
 
 __all__ = ["run_seeded"]
 
@@ -52,6 +53,7 @@ def run_seeded(
     seed_point: Sequence[float] | Point,
     strict: bool = True,
     initial_state=None,
+    sink: TraceSink | None = None,
 ) -> QueryResult:
     """Route to the peer owning ``seed_point``, then ripple from there.
 
@@ -61,42 +63,78 @@ def run_seeded(
     peer with that warm state.  Routed-through peers are marked processed,
     so the main phase treats them as already-visited (they may legally be
     reached again, contributing nothing twice).
+
+    With a trace ``sink`` attached, the whole drive records under one
+    ``query`` root span: routing and probing emit ``process`` spans at
+    hop-accurate virtual times, so the trace's critical path spans the
+    route, the probe, and the ripple phase end to end.
     """
     seed_peer, path = greedy_route(initiator, seed_point)
     ctx = QueryContext(strict=strict)
+    if sink is not None:
+        ctx.sink = sink
     state = handler.initial_state() if initial_state is None else initial_state
-    for peer in path[:-1]:
-        state, _ = _probe_peer(ctx, handler, peer, state, initiator.peer_id)
+    query_span = 0
+    if ctx.sink.enabled:
+        query_span = ctx.sink.begin_span(
+            "query", initiator.peer_id, 0, region=repr(restriction), r=r,
+            seed_point=tuple(float(v) for v in seed_point))
+    for hop, peer in enumerate(path[:-1]):
+        state, _ = _probe_peer(ctx, handler, peer, state, initiator.peer_id,
+                               t=hop, parent_span=query_span)
         ctx.on_forward()
+        if ctx.sink.enabled:
+            ctx.sink.event("forward", hop, span=query_span,
+                           target=path[hop + 1].peer_id)
     base_latency = len(path) - 1
     state, probe_hops = _best_first_probe(
-        ctx, handler, seed_peer, state, initiator.peer_id)
-    return execute(seed_peer, handler, r, restriction=restriction, ctx=ctx,
-                   initial_state=state, base_latency=base_latency + probe_hops,
-                   answers_to=initiator.peer_id)
+        ctx, handler, seed_peer, state, initiator.peer_id,
+        base_t=base_latency, parent_span=query_span)
+    result = execute(seed_peer, handler, r, restriction=restriction, ctx=ctx,
+                     initial_state=state,
+                     base_latency=base_latency + probe_hops,
+                     answers_to=initiator.peer_id,
+                     parent_span=query_span or None)
+    if ctx.sink.enabled:
+        ctx.sink.end_span(query_span, result.stats.latency)
+    return result
 
 
 def _probe_peer(ctx: QueryContext, handler: QueryHandler, peer: PeerLike,
-                state, initiator_id) -> tuple[object, object]:
+                state, initiator_id, *, t: int = 0,
+                parent_span: int | None = None) -> tuple[object, object]:
     """Process one peer during seeding.
 
     Returns the enriched global state plus the peer's own local state.
+    ``t`` is the hop-accurate virtual time the lookup reaches the peer.
     """
     if not ctx.begin_processing(peer.peer_id):
         return state, handler.neutral_local_state()
     ctx.revisitable.add(peer.peer_id)
     local = handler.compute_local_state(peer.store, state)
     state = handler.compute_global_state(state, local)
+    span = 0
+    if ctx.sink.enabled:
+        span = ctx.sink.begin_span("process", peer.peer_id, t,
+                                   parent=parent_span or None,
+                                   phase="seeding", processes=True,
+                                   state_size=state_size(local))
     answer = handler.compute_local_answer(peer.store, local)
     if peer.peer_id == initiator_id:
         ctx.collected_answers.append(answer)
     else:
-        ctx.on_answer(answer, handler.answer_size(answer))
+        size = handler.answer_size(answer)
+        ctx.on_answer(answer, size)
+        if ctx.sink.enabled and size > 0:
+            ctx.sink.event("answer", t, span=span, size=size)
+    if ctx.sink.enabled:
+        ctx.sink.end_span(span, t)
     return state, local
 
 
 def _best_first_probe(ctx: QueryContext, handler: QueryHandler,
-                      seed_peer: PeerLike, state, initiator_id
+                      seed_peer: PeerLike, state, initiator_id, *,
+                      base_t: int = 0, parent_span: int | None = None
                       ) -> tuple[object, int]:
     """Sequentially visit the most promising regions around the seed.
 
@@ -121,7 +159,9 @@ def _best_first_probe(ctx: QueryContext, handler: QueryHandler,
                                           next(counter), link.peer,
                                           link.region))
 
-    state, gathered = _probe_peer(ctx, handler, seed_peer, state, initiator_id)
+    state, gathered = _probe_peer(ctx, handler, seed_peer, state,
+                                  initiator_id, t=base_t,
+                                  parent_span=parent_span)
     hops = 0
     stale = 0
     push_links(seed_peer)
@@ -134,9 +174,13 @@ def _best_first_probe(ctx: QueryContext, handler: QueryHandler,
         if not handler.is_link_relevant(region, state):
             continue
         ctx.on_forward()
+        if ctx.sink.enabled:
+            ctx.sink.event("forward", base_t + hops, span=parent_span or 0,
+                           target=peer.peer_id)
         hops += 1
         before = handler.probe_score(gathered)
-        state, local = _probe_peer(ctx, handler, peer, state, initiator_id)
+        state, local = _probe_peer(ctx, handler, peer, state, initiator_id,
+                                   t=base_t + hops, parent_span=parent_span)
         gathered = handler.update_local_state((gathered, local))
         stale = stale + 1 if handler.probe_score(gathered) <= before else 0
         push_links(peer)

@@ -249,6 +249,7 @@ def distributed_skyline(
     seeded: bool = True,
     strict: bool = True,
     constraint: Rect | None = None,
+    sink=None,
 ):
     """End-to-end distributed skyline from ``initiator``.
 
@@ -266,9 +267,9 @@ def distributed_skyline(
     handler = SkylineHandler(dims, constraint=constraint)
     if not seeded:
         return run_ripple(initiator, handler, r,
-                          restriction=restriction, strict=strict)
+                          restriction=restriction, strict=strict, sink=sink)
     return run_seeded(initiator, handler, r, restriction=restriction,
-                      seed_point=handler.origin, strict=strict)
+                      seed_point=handler.origin, strict=strict, sink=sink)
 
 
 class SkylineHandler(QueryHandler):

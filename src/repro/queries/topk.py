@@ -173,6 +173,7 @@ def distributed_topk(
     r: int = 0,
     seeded: bool = True,
     strict: bool = True,
+    sink=None,
 ):
     """End-to-end distributed top-k from ``initiator``.
 
@@ -189,12 +190,12 @@ def distributed_topk(
     handler = TopKHandler(fn, k)
     if not seeded:
         return run_ripple(initiator, handler, r,
-                          restriction=restriction, strict=strict)
+                          restriction=restriction, strict=strict, sink=sink)
     domain = restriction.cover()[0]
     seed_point = tuple(min(v, h - 1e-12)
                        for v, h in zip(fn.peak(domain), domain.hi))
     return run_seeded(initiator, handler, r, restriction=restriction,
-                      seed_point=seed_point, strict=strict)
+                      seed_point=seed_point, strict=strict, sink=sink)
 
 
 def topk_reference(array, fn: ScoringFunction, k: int) -> list[tuple[float, Point]]:

@@ -340,6 +340,82 @@ class TestRPL009:
         assert findings_for(source) == []
 
 
+# -- RPL010: passive trace sinks -------------------------------------------
+
+
+SINK_PATH = "src/repro/obs/custom_sink.py"
+
+RECORDING_SINK = """
+class RecordingSink(TraceSink):
+    enabled = True
+
+    def begin_span(self, kind, peer, t, *, parent=None, region=None, **attrs):
+        self.spans.append((kind, peer, t))
+        return len(self.spans)
+
+    def end_span(self, span_id, t, **attrs):
+        self.closed[span_id] = t
+
+    def event(self, kind, t, *, span=0, count=1, **attrs):
+        self.events.append((kind, t, count))
+
+    def on_stats(self, stats):
+        self.stats_records.append(stats)
+"""
+
+
+class TestRPL010:
+    def test_good_recording_sink(self):
+        assert ripplelint.lint_source(
+            RECORDING_SINK, virtual_path=SINK_PATH) == []
+
+    def test_bad_context_mutator_call(self):
+        source = RECORDING_SINK.replace(
+            "        self.events.append((kind, t, count))",
+            "        attrs['ctx'].on_forward()")
+        findings = ripplelint.lint_source(source, virtual_path=SINK_PATH)
+        assert rules_of(findings) == ["RPL010"]
+        assert "on_forward" in findings[0].message
+
+    def test_bad_assignment_through_parameter(self):
+        source = RECORDING_SINK.replace(
+            "        self.stats_records.append(stats)",
+            "        stats.latency = 0")
+        findings = ripplelint.lint_source(source, virtual_path=SINK_PATH)
+        assert rules_of(findings) == ["RPL010"]
+        assert "stats" in findings[0].message
+
+    def test_bad_container_mutation_of_parameter(self):
+        source = RECORDING_SINK.replace(
+            "        self.stats_records.append(stats)",
+            "        stats.fault_events.clear()")
+        findings = ripplelint.lint_source(source, virtual_path=SINK_PATH)
+        assert rules_of(findings) == ["RPL010"]
+
+    def test_duck_typed_sink_is_recognized(self):
+        # No TraceSink base: two protocol methods are enough to classify.
+        source = ("class Sneaky:\n"
+                  "    def begin_span(self, kind, peer, t, **attrs):\n"
+                  "        return 0\n"
+                  "    def on_stats(self, stats):\n"
+                  "        stats.retries += 1\n")
+        findings = ripplelint.lint_source(source, virtual_path=SINK_PATH)
+        assert rules_of(findings) == ["RPL010"]
+
+    def test_single_method_class_is_not_a_sink(self):
+        # One coincidentally named method must not classify as a sink.
+        source = ("class Telemetry:\n"
+                  "    def on_stats(self, stats):\n"
+                  "        stats.latency = 1\n")
+        assert ripplelint.lint_source(source, virtual_path=SINK_PATH) == []
+
+    def test_non_sink_methods_are_exempt(self):
+        source = RECORDING_SINK + (
+            "\n    def reset(self, stats):\n"
+            "        stats.latency = 0\n")
+        assert ripplelint.lint_source(source, virtual_path=SINK_PATH) == []
+
+
 # -- suppression comments --------------------------------------------------
 
 
@@ -389,7 +465,7 @@ class TestCli:
         assert ripplelint.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                        "RPL006", "RPL007", "RPL008", "RPL009"):
+                        "RPL006", "RPL007", "RPL008", "RPL009", "RPL010"):
             assert rule_id in out
 
     def test_rule_filter(self, tmp_path, capsys):
@@ -427,6 +503,16 @@ class TestRepoSelfCheck:
         findings = ripplelint.lint_paths([str(SRC)])
         assert findings == [], "\n".join(f.render() for f in findings)
 
+    def test_benchmarks_and_tools_lint_clean(self):
+        """The shared-scope rules bind benchmark drivers and repo scripts
+        too (including the extensionless ``tools/ripplelint`` launcher,
+        picked up via shebang sniffing)."""
+        paths = [str(REPO / "benchmarks"), str(REPO / "tools")]
+        linted = [p.as_posix() for p in ripplelint.iter_python_files(paths)]
+        assert any(p.endswith("tools/ripplelint") for p in linted), linted
+        findings = ripplelint.lint_paths(paths)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
     def test_all_exports_resolve_at_runtime(self):
         """Every ``__all__`` name of every repro module imports for real."""
         names = [path.relative_to(SRC).with_suffix("")
@@ -445,7 +531,7 @@ class TestRepoSelfCheck:
         every function in the strict packages carries full annotations."""
         import ast
         missing = []
-        for pkg in ("core", "net", "common", "overlays"):
+        for pkg in ("core", "net", "common", "overlays", "obs"):
             for path in sorted((SRC / "repro" / pkg).rglob("*.py")):
                 tree = ast.parse(path.read_text())
                 for node in ast.walk(tree):
@@ -478,7 +564,8 @@ class TestRepoSelfCheck:
     def test_mypy_strict_packages(self):
         proc = subprocess.run(
             ["mypy", "-p", "repro.core", "-p", "repro.net",
-             "-p", "repro.common", "-p", "repro.overlays"],
+             "-p", "repro.common", "-p", "repro.overlays",
+             "-p", "repro.obs"],
             capture_output=True, text=True, cwd=REPO,
             env={"PYTHONPATH": str(SRC), "PATH": "/usr/local/bin:/usr/bin:/bin"})
         assert proc.returncode == 0, proc.stdout + proc.stderr

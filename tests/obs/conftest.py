@@ -1,0 +1,67 @@
+"""Shared fixtures for the observability tests.
+
+The ``trace`` fixture hands tests a recording :class:`QueryTrace` and —
+when the test fails — dumps it as JSONL under ``test-trace-artifacts/``
+so CI can upload the exact failing query for replay in
+``python -m repro.obs.traceview`` or ``ui.perfetto.dev``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import CanOverlay, ChordOverlay, MidasOverlay, QueryTrace
+from repro.obs import write_jsonl
+
+ARTIFACT_DIR = "test-trace-artifacts"
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    setattr(item, "rep_" + report.when, report)
+    return report
+
+
+@pytest.fixture
+def trace(request):
+    """A recording QueryTrace, archived on test failure."""
+    recorded = QueryTrace()
+    yield recorded
+    report = getattr(request.node, "rep_call", None)
+    if report is not None and report.failed and recorded.spans:
+        os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_"
+                       for ch in request.node.nodeid)
+        write_jsonl(recorded, os.path.join(ARTIFACT_DIR, safe + ".jsonl"))
+
+
+def midas_network(seed, peers=32, tuples=240, dims=2):
+    rng = np.random.default_rng(seed)
+    overlay = MidasOverlay(dims, size=1, seed=seed, join_policy="data")
+    overlay.load(rng.random((tuples, dims)) * 0.999)
+    overlay.grow_to(peers)
+    return overlay
+
+
+def chord_network(seed, peers=32, tuples=240):
+    overlay = ChordOverlay(size=peers, seed=seed)
+    overlay.load(np.random.default_rng(seed).random((tuples, 1)) * 0.999)
+    return overlay
+
+
+def can_network(seed, peers=32, tuples=240, dims=2):
+    rng = np.random.default_rng(seed)
+    overlay = CanOverlay(dims, size=1, seed=seed)
+    overlay.load(rng.random((tuples, dims)) * 0.999)
+    overlay.grow_to(peers)
+    return overlay
+
+
+NETWORKS = {"midas": midas_network, "chord": chord_network,
+            "can": can_network}
+
+
+def build_network(kind, seed, **kwargs):
+    return NETWORKS[kind](seed, **kwargs)

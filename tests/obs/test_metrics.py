@@ -1,0 +1,148 @@
+"""Unit tests for the metrics registry and trace-derived distributions."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScore, MetricsRegistry, QueryTrace, TopKHandler, \
+    run_ripple
+from repro.obs import (Counter, DEFAULT_FANOUT_BUCKETS,
+                       DEFAULT_STATE_SIZE_BUCKETS, Histogram, metrics_of)
+
+from .conftest import build_network
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("hops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        counter = Counter("hops")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_edge(self):
+        hist = Histogram("fanout", bounds=(1, 2, 4))
+        hist.observe_many([0, 1, 2, 3, 4, 5])
+        # counts per bucket: <=1, <=2, <=4, overflow
+        assert hist.counts == [2, 1, 2, 1]
+        assert hist.total == 6
+        assert hist.sum == 15
+        assert hist.mean == pytest.approx(2.5)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1))
+
+    def test_quantile_is_conservative(self):
+        hist = Histogram("h", bounds=(1, 2, 4, 8))
+        hist.observe_many([1, 1, 2, 3, 7])
+        assert hist.quantile(0.0) == 0.0 or hist.quantile(0.0) <= 1
+        assert hist.quantile(0.5) == 2
+        assert hist.quantile(1.0) == 8
+        hist.observe(100)  # overflow bucket -> inf
+        assert hist.quantile(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram("h", bounds=(1,)).quantile(0.9) == 0.0
+
+    def test_merge_adds_bucketwise(self):
+        a = Histogram("h", bounds=(1, 2))
+        b = Histogram("h", bounds=(1, 2))
+        a.observe_many([1, 2])
+        b.observe_many([2, 5])
+        a.merge(b)
+        assert a.counts == [1, 2, 1]
+        assert a.total == 4
+        assert a.sum == 10
+
+    def test_merge_rejects_bound_mismatch(self):
+        a = Histogram("h", bounds=(1, 2))
+        b = Histogram("h", bounds=(1, 4))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_as_dict_names_buckets(self):
+        hist = Histogram("h", bounds=(1, 4))
+        hist.observe_many([1, 3, 9])
+        assert hist.as_dict() == {
+            "count": 3, "sum": 13.0,
+            "buckets": {"le_1": 1, "le_4": 1, "overflow": 1},
+        }
+
+
+class TestMetricsRegistry:
+    def test_lazy_accessors_are_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.histogram("h").bounds \
+            == tuple(float(b) for b in DEFAULT_FANOUT_BUCKETS)
+
+    def test_as_dict_round_trips_values(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs").inc(7)
+        registry.histogram("h", bounds=(1,)).observe(1)
+        out = registry.as_dict()
+        assert out["counters"] == {"msgs": 7}
+        assert out["histograms"]["h"]["count"] == 1
+
+
+class TestMetricsOf:
+    @pytest.fixture(scope="class")
+    def traced_query(self):
+        overlay = build_network("midas", seed=3)
+        trace = QueryTrace()
+        result = run_ripple(
+            overlay.random_peer(np.random.default_rng(3)),
+            TopKHandler(LinearScore([1.0, 1.0]), 4), 1,
+            restriction=overlay.domain(), strict=False, sink=trace)
+        return trace, result
+
+    def test_event_and_span_counters(self, traced_query):
+        trace, result = traced_query
+        registry = metrics_of(trace)
+        counters = registry.as_dict()["counters"]
+        assert counters["events.forward"] == result.stats.forward_messages
+        assert counters["spans.process"] \
+            == sum(1 for s in trace.spans if s.kind == "process")
+
+    def test_fanout_histogram_counts_forward_origins(self, traced_query):
+        trace, _ = traced_query
+        registry = metrics_of(trace)
+        fanout = registry.histograms["fanout.per_peer"]
+        forwards = [e for e in trace.events
+                    if e.kind == "forward" and e.span_id]
+        origins = {trace.get_span(e.span_id).peer for e in forwards}
+        assert fanout.total == len(origins)
+        assert fanout.sum == len(forwards)
+
+    def test_state_size_histogram_reads_process_spans(self, traced_query):
+        trace, _ = traced_query
+        registry = metrics_of(trace)
+        hist = registry.histograms["state_size.per_hop"]
+        assert hist.bounds \
+            == tuple(float(b) for b in DEFAULT_STATE_SIZE_BUCKETS)
+        sized = [s for s in trace.spans
+                 if s.kind == "process" and "state_size" in s.attrs]
+        assert hist.total == len(sized)
+
+    def test_accumulates_into_supplied_registry(self, traced_query):
+        trace, _ = traced_query
+        registry = MetricsRegistry()
+        once = metrics_of(trace, registry)
+        assert once is registry
+        first = registry.counter("events.forward").value
+        metrics_of(trace, registry)
+        assert registry.counter("events.forward").value == 2 * first
