@@ -1,0 +1,85 @@
+"""Shared plumbing for the recorded-baseline benchmark gates.
+
+``bench_kernels``, ``bench_churn``, and ``bench_load`` all follow the
+same CLI contract — ``--smoke`` for the reduced CI configuration,
+``--record`` to refresh the committed baseline, ``--compare PATH``
+plus ``--tolerance`` to gate a fresh run against it, ``--out`` to keep
+the fresh JSON — and the same conventions around it: progress goes to
+stderr so stdout stays parseable, baselines are pretty-printed JSON
+with a trailing newline, and a failed gate prints one ``REGRESSION``
+line per finding before exiting non-zero.  This module is the single
+implementation of that contract; each driver contributes only its
+sweep and its ``compare(fresh, baseline, tolerance)`` policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["add_gate_arguments", "gate", "log", "read_json", "seeded_rng",
+           "write_json"]
+
+
+def log(msg: str) -> None:
+    """Progress/diagnostic line on stderr; stdout stays machine-readable."""
+    print(msg, file=sys.stderr)
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """The benchmark suite's one generator constructor (RPL001: every
+    draw in a gate driver must flow from an explicit seed)."""
+    return np.random.default_rng(seed)
+
+
+def add_gate_arguments(parser: argparse.ArgumentParser, *,
+                       baseline_path: str, default_tolerance: float,
+                       tolerance_help: str) -> None:
+    """Install the shared ``--smoke/--record/--compare/--tolerance/--out``
+    flags; per-driver flags are added by the caller afterwards."""
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes (the CI gate configuration)")
+    parser.add_argument("--record", action="store_true",
+                        help=f"write the recorded baseline {baseline_path}")
+    parser.add_argument("--compare", type=str, default=None, metavar="PATH",
+                        help="gate the fresh run against this baseline")
+    parser.add_argument("--tolerance", type=float, default=default_tolerance,
+                        help=tolerance_help)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the fresh results JSON here")
+
+
+def write_json(path: str, payload: Any, *, sort_keys: bool = False) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=sort_keys)
+        fh.write("\n")
+
+
+def read_json(path: str) -> Any:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def gate(fresh: Any, baseline_path: str,
+         compare: Callable[[Any, Any, float], list[str]],
+         tolerance: float, *,
+         passed: str | Callable[[Any], str]) -> int:
+    """Run one compare gate and report it.
+
+    Loads the baseline, applies the driver's ``compare`` policy, prints
+    each failure as a ``REGRESSION`` line, and returns the process exit
+    code.  ``passed`` is the success message (or a callable receiving
+    the loaded baseline, for messages that count gated scenarios).
+    """
+    baseline = read_json(baseline_path)
+    failures = compare(fresh, baseline, tolerance)
+    if failures:
+        for failure in failures:
+            log(f"REGRESSION {failure}")
+        return 1
+    log(passed(baseline) if callable(passed) else passed)
+    return 0

@@ -41,13 +41,14 @@ from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
 from repro.net.faults import FaultPlan, resilient_ripple
 from repro.queries.rangeq import RangeHandler
 
+from ._gate import add_gate_arguments, gate, log, seeded_rng, write_json
 from .conftest import attach
 
 BASELINE_PATH = "BENCH_churn.json"
 
 
 def build_overlay(kind, *, peers, tuples, seed):
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     if kind == "chord":
         overlay = ChordOverlay(size=peers, seed=seed)
         overlay.load(rng.random((tuples, 1)) * 0.999)
@@ -237,16 +238,10 @@ SMOKE = dict(peers=16, tuples=120, seeds=[0],
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="RIPPLE completeness/latency under churn")
-    parser.add_argument("--smoke", action="store_true",
-                        help="tiny network, one seed (CI sanity run)")
-    parser.add_argument("--record", action="store_true",
-                        help=f"write the completeness baseline "
-                             f"{BASELINE_PATH} (smoke + full configs)")
-    parser.add_argument("--compare", type=str, default=None, metavar="PATH",
-                        help="gate fresh completeness against this baseline")
-    parser.add_argument("--tolerance", type=float, default=0.0,
-                        help="allowed completeness drop per scenario "
-                             "(default 0: the simulation is deterministic)")
+    add_gate_arguments(
+        parser, baseline_path=BASELINE_PATH, default_tolerance=0.0,
+        tolerance_help="allowed completeness drop per scenario "
+                       "(default 0: the simulation is deterministic)")
     parser.add_argument("--peers", type=int, default=64)
     parser.add_argument("--tuples", type=int, default=600)
     parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
@@ -255,15 +250,11 @@ def main(argv=None):
     parser.add_argument("--replicas", type=int, nargs="+", default=[0, 1, 2])
     parser.add_argument("--drop", type=float, default=0.05)
     parser.add_argument("--jitter", type=int, default=1)
-    parser.add_argument("--out", type=str, default=None,
-                        help="write JSON rows here instead of stdout")
     parser.add_argument("--trace-out", type=str, default=None, metavar="PATH",
                         help="additionally record one supervised query "
                              "under churn with a trace sink and export it "
                              "(.jsonl = JSONL records, else Perfetto JSON)")
     args = parser.parse_args(argv)
-
-    log = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
 
     if args.smoke:
         config = dict(SMOKE, drop_prob=args.drop, jitter=args.jitter)
@@ -301,21 +292,17 @@ def main(argv=None):
         recorded = {row["key"]: row for row in smoke_rows}
         if not args.smoke:
             recorded.update({row["key"]: row for row in rows})
-        with open(BASELINE_PATH, "w") as fh:
-            json.dump({"meta": {"drop_prob": args.drop,
-                                "jitter": args.jitter,
-                                "smoke": SMOKE},
-                       "rows": recorded}, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_json(BASELINE_PATH,
+                   {"meta": {"drop_prob": args.drop, "jitter": args.jitter,
+                             "smoke": SMOKE},
+                    "rows": recorded}, sort_keys=True)
         log(f"wrote baseline {BASELINE_PATH} ({len(recorded)} scenarios)")
 
-    payload = json.dumps(rows, indent=2)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(payload + "\n")
+        write_json(args.out, rows)
         log(f"wrote {len(rows)} rows to {args.out}")
     elif not args.record:
-        print(payload)
+        print(json.dumps(rows, indent=2))
 
     # sanity for CI: every fault-free run is complete, every run bounded
     for row in rows:
@@ -324,16 +311,13 @@ def main(argv=None):
             assert row["completeness"] == 1.0
 
     if args.compare:
-        with open(args.compare) as fh:
-            baseline = json.load(fh)
-        failures = compare(rows, baseline, args.tolerance)
-        if failures:
-            for failure in failures:
-                log(f"REGRESSION {failure}")
-            return 1
-        gated = sum(1 for row in rows
-                    if row["key"] in baseline.get("rows", {}))
-        log(f"churn gate passed ({gated} scenarios compared)")
+        def passed(baseline):
+            gated = sum(1 for row in rows
+                        if row["key"] in baseline.get("rows", {}))
+            return f"churn gate passed ({gated} scenarios compared)"
+
+        return gate(rows, args.compare, compare, args.tolerance,
+                    passed=passed)
     return 0
 
 

@@ -40,6 +40,7 @@ from repro.queries.skyline import (distributed_skyline, k_skyband_of_array,
                                    merge_skylines, skyline_of_array,
                                    skyline_reference)
 
+from ._gate import add_gate_arguments, gate, log, seeded_rng, write_json
 from .conftest import bench_config
 
 BASELINE_PATH = "BENCH_kernels.json"
@@ -182,7 +183,7 @@ def entry(legacy_s, current_s, **extra):
 
 
 def kernel_suite(*, n, skyband_n, reps, log):
-    rng = np.random.default_rng(7)
+    rng = seeded_rng(7)
     out = {}
 
     for dims in (2, 4, 6):
@@ -260,7 +261,7 @@ def e2e_suite(*, peers, tuples, reps, log):
         overlay = builders.build_midas(data, peers, 7,
                                        link_policy="boundary")
         dims = data.shape[1]
-        rng = np.random.default_rng(11)
+        rng = seeded_rng(11)
         initiators = [overlay.random_peer(rng) for _ in range(2)]
         reference = skyline_reference(data)
 
@@ -320,55 +321,37 @@ def run(*, n, skyband_n, peers, tuples, reps, log=lambda msg: None):
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="rank-query kernel micro/e2e benchmarks")
-    parser.add_argument("--record", action="store_true",
-                        help=f"write the full-size baseline {BASELINE_PATH}")
-    parser.add_argument("--smoke", action="store_true",
-                        help="small sizes (CI gate)")
-    parser.add_argument("--compare", type=str, default=None, metavar="PATH",
-                        help="gate fresh speedups against this baseline")
-    parser.add_argument("--tolerance", type=float, default=0.3,
-                        help="fraction of a recorded speedup a fresh run "
-                             "must retain (default 0.3)")
+    add_gate_arguments(
+        parser, baseline_path=BASELINE_PATH, default_tolerance=0.3,
+        tolerance_help="fraction of a recorded speedup a fresh run must "
+                       "retain (default 0.3: wall clocks are noisy)")
     parser.add_argument("--n", type=int, default=10_000)
     parser.add_argument("--skyband-n", type=int, default=3_000)
     parser.add_argument("--peers", type=int, default=200)
     parser.add_argument("--tuples", type=int, default=8_000)
     parser.add_argument("--reps", type=int, default=3)
-    parser.add_argument("--out", type=str, default=None,
-                        help="write the fresh results JSON here")
     args = parser.parse_args(argv)
 
     if args.smoke:
         args.n, args.skyband_n = 4_000, 1_500
         args.peers, args.tuples, args.reps = 48, 2_000, 2
 
-    log = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     fresh = run(n=args.n, skyband_n=args.skyband_n, peers=args.peers,
                 tuples=args.tuples, reps=args.reps, log=log)
 
     if args.record:
-        with open(BASELINE_PATH, "w") as fh:
-            json.dump(fresh, fh, indent=2)
-            fh.write("\n")
+        write_json(BASELINE_PATH, fresh)
         log(f"wrote baseline {BASELINE_PATH}")
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(fresh, fh, indent=2)
-            fh.write("\n")
+        write_json(args.out, fresh)
         log(f"wrote {args.out}")
     if not (args.record or args.out):
         print(json.dumps(fresh, indent=2))
 
     if args.compare:
-        with open(args.compare) as fh:
-            baseline = json.load(fh)
-        failures = compare(fresh, baseline, args.tolerance)
-        if failures:
-            for failure in failures:
-                log(f"REGRESSION {failure}")
-            return 1
-        log(f"compare gate passed against {args.compare} "
-            f"(tolerance {args.tolerance})")
+        return gate(fresh, args.compare, compare, args.tolerance,
+                    passed=f"compare gate passed against {args.compare} "
+                           f"(tolerance {args.tolerance})")
     return 0
 
 

@@ -37,6 +37,12 @@ from .net.context import QueryResult, QueryStats
 from .net.detector import FailureDetector
 from .net.eventsim import SimulationBudgetExceeded, event_driven_ripple
 from .net.faults import FaultPlan, resilient_ripple
+from .net.scheduler import (AdmissionPolicy, FifoPolicy, PriorityPolicy,
+                            QueryBudgetExceeded, QueryCompleted,
+                            QueryDeadlineExceeded, QueryEngine, QueryJob,
+                            QueryOutcome, QueryRejected, WeightedFairPolicy)
+from .net.workload import (WorkloadReport, WorkloadSpec, poisson_arrivals,
+                           run_workload)
 from .obs import (MetricsRegistry, NullSink, QueryTrace, TraceSink,
                   critical_path, metrics_of, replay)
 from .overlays.baton import BatonOverlay, BatonPeer
@@ -54,6 +60,7 @@ from .queries.topk import TopKHandler, distributed_topk, topk_reference
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionPolicy",
     "ArcRegion",
     "BatonOverlay",
     "BatonPeer",
@@ -64,6 +71,7 @@ __all__ = [
     "DiversificationObjective",
     "FailureDetector",
     "FaultPlan",
+    "FifoPolicy",
     "Frustum",
     "FrustumRegion",
     "Interval",
@@ -76,8 +84,16 @@ __all__ = [
     "NearestScore",
     "NullSink",
     "Point",
+    "PriorityPolicy",
     "PromotedPeer",
+    "QueryBudgetExceeded",
+    "QueryCompleted",
+    "QueryDeadlineExceeded",
+    "QueryEngine",
     "QueryHandler",
+    "QueryJob",
+    "QueryOutcome",
+    "QueryRejected",
     "QueryResult",
     "QueryStats",
     "QueryTrace",
@@ -94,6 +110,9 @@ __all__ = [
     "SkylineHandler",
     "TopKHandler",
     "TraceSink",
+    "WeightedFairPolicy",
+    "WorkloadReport",
+    "WorkloadSpec",
     "ZCurve",
     "critical_path",
     "distributed_skyline",
@@ -104,11 +123,13 @@ __all__ = [
     "greedy_diversify",
     "metrics_of",
     "physical_id",
+    "poisson_arrivals",
     "replay",
     "resilient_ripple",
     "run_fast",
     "run_ripple",
     "run_slow",
+    "run_workload",
     "skyline_reference",
     "topk_reference",
     "__version__",

@@ -19,13 +19,14 @@ rule        invariant
 ``RPL008``  ``__all__`` is present in packages and every name resolves
 ``RPL009``  ``# type: ignore`` must be narrow and carry a justification
 ``RPL010``  trace-sink overrides must not mutate ``QueryContext`` state
+``RPL011``  retry/queue loops in ``repro/net`` carry an explicit bound
 ==========  ===========================================================
 
 Rules RPL001/002/003/004/006/009/010 apply to ``src/repro``,
 ``benchmarks/``, and ``tools/`` alike (the simulation invariants bind
 benchmark drivers exactly as hard as library code); RPL005 is scoped to
 ``repro/overlays``, RPL007 to the numeric kernel modules, RPL008 to the
-``repro`` package tree.
+``repro`` package tree, RPL011 to ``repro/net``.
 
 Findings print as ``path:line:col: RPLxxx message`` (or as GitHub
 problem-matcher ``::error`` lines with ``--format github``) and the
@@ -774,6 +775,7 @@ _CTX_MUTATORS = frozenset({
     "begin_processing", "on_forward", "on_response", "on_answer",
     "on_timeout", "on_retry", "on_reroute", "on_drop", "on_ack",
     "on_unreachable", "on_region_recovered", "on_replica_read", "note_time",
+    "on_queue_wait", "cancel",
 })
 #: Methods that mutate a container in place.
 _MUTATING_CALLS = frozenset({
@@ -861,6 +863,64 @@ def _check_rpl010(module: ParsedModule) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPL011 -- unbounded loops on retry/queue paths
+# ---------------------------------------------------------------------------
+
+#: Name fragments that mark a loop as explicitly bounded.  Matching is
+#: substring-on-lowercase, so ``max_events``, ``self.capacity``,
+#: ``retries_left``, and ``watchdog`` all qualify.
+_BOUND_TOKENS = ("max", "budget", "cap", "deadline", "limit", "tries",
+                 "attempt", "bound", "watchdog")
+
+
+def _mentions_bound(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        else:
+            continue
+        lowered = name.lower()
+        if any(token in lowered for token in _BOUND_TOKENS):
+            return True
+    return False
+
+
+def _check_rpl011(module: ParsedModule) -> Iterator[Finding]:
+    """RPL011: retry/queue loops in ``repro/net`` carry an explicit bound.
+
+    The simulator's event pump, the scheduler's admission drain, and the
+    fault layer's retry machinery are exactly the places where an
+    unbounded ``while`` turns one lost ack into a hang that no deadline
+    can interrupt — the concurrency layer's liveness rests on every such
+    loop being cut off by *something*.  A ``while`` loop passes when its
+    condition compares against a value (``ast.Compare``, e.g.
+    ``while visited < max_peers``) or when the loop mentions a bound by
+    name anywhere in its test or body (an identifier or attribute
+    containing one of max/budget/cap/deadline/limit/tries/attempt/bound/
+    watchdog, e.g. the event pump consuming ``cap``).  A bare
+    ``while True:`` pump with neither has no exit story and is flagged.
+    """
+    if not _in_scope(module, ("repro/net",)):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.While):
+            continue
+        if any(isinstance(part, ast.Compare)
+               for part in ast.walk(node.test)):
+            continue
+        if _mentions_bound(node):
+            continue
+        yield _finding(
+            module, node, "RPL011",
+            "unbounded 'while' on a retry/queue path; compare the loop "
+            "condition against a limit or reference an explicit bound "
+            "(max_*/cap/budget/deadline/limit/tries) so the loop "
+            "provably terminates")
+
+
+# ---------------------------------------------------------------------------
 # Registry and driver
 # ---------------------------------------------------------------------------
 
@@ -878,6 +938,7 @@ RULES: tuple[Rule, ...] = tuple(
         ("RPL008", _check_rpl008),
         ("RPL009", _check_rpl009),
         ("RPL010", _check_rpl010),
+        ("RPL011", _check_rpl011),
     ]
 )
 

@@ -60,7 +60,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.experiments")
     parser.add_argument("figure",
                         choices=[*FIGURES, "lemmas", "ablation",
-                                 "decreasing", "all", "list"])
+                                 "decreasing", "load", "all", "list"])
     parser.add_argument("--scale", choices=list(SCALES), default="default")
     parser.add_argument("--csv", metavar="PATH",
                         help="also write the rows as CSV to PATH")
@@ -79,10 +79,11 @@ def main(argv: list[str] | None = None) -> int:
         print("lemmas   worst-case latency: measured vs Lemmas 1-3")
         print("ablation Section 5.2 link policy: random vs boundary")
         print("decreasing  top-k during the decreasing (departure) stage")
+        print("load     concurrent engine: p50/p99/shedding vs arrival rate")
         return 0
 
     config = SCALES[args.scale]()
-    targets = (list(FIGURES) + ["lemmas", "ablation", "decreasing"]
+    targets = (list(FIGURES) + ["lemmas", "ablation", "decreasing", "load"]
                if args.figure == "all" else [args.figure])
     for target in targets:
         start = _wallclock()
@@ -95,6 +96,9 @@ def main(argv: list[str] | None = None) -> int:
             rows = decreasing_stage(config)
             print_rows(rows)
             _extras(rows, args)
+        elif target == "load":
+            from .load_profile import load_profile, print_load_rows
+            print_load_rows(load_profile(config))
         else:
             figure, _ = FIGURES[target]
             rows = figure(config)

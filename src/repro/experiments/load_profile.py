@@ -1,0 +1,122 @@
+"""Serving profile: the concurrent engine's behavior under rising load.
+
+Not a figure from the paper — RIPPLE's experiments measure one query at
+a time — but the natural companion once queries multiplex over shared
+peers: sweep open-loop arrival rates from well below to past the
+engine's saturation point for each admission policy, and tabulate the
+serving metrics (exact p50/p99 turnaround, shed rate, completed count).
+``python -m repro.experiments load`` prints the table;
+``--trace-out load.json`` additionally records one overloaded workload
+as a Perfetto trace in which per-query root spans interleave (see
+docs/LOAD.md for a worked reading of that trace).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.scoring import LinearScore
+from ..net.scheduler import (AdmissionPolicy, PriorityPolicy, QueryEngine,
+                             WeightedFairPolicy)
+from ..net.workload import WorkloadSpec, run_workload
+from ..obs.trace import TraceSink
+from ..queries.topk import TopKHandler
+from .builders import build_midas, synth
+from .config import ExperimentConfig
+
+__all__ = ["MULTIPLIERS", "POLICIES", "load_profile", "print_load_rows",
+           "trace_overloaded_workload"]
+
+POLICIES = ("fifo", "priority", "wfair")
+MULTIPLIERS = (0.25, 0.5, 1.0, 2.0)
+
+
+def _policy(name: str) -> AdmissionPolicy | None:
+    if name == "priority":
+        return PriorityPolicy()
+    if name == "wfair":
+        return WeightedFairPolicy({"gold": 3, "bronze": 1})
+    return None  # engine default: FIFO
+
+
+def _spec(policy: str, *, queries: int, rate: float,
+          seed: int) -> WorkloadSpec:
+    extra: dict = {}
+    if policy == "priority":
+        extra["priorities"] = (0, 1, 2)
+    elif policy == "wfair":
+        extra["classes"] = (("gold", 3), ("bronze", 1))
+    return WorkloadSpec(queries=queries, rate=rate, seed=seed,
+                        strict=False, rs=(0, 1), **extra)
+
+
+def _saturation_rate(overlay, *, capacity: int, service_time: int,
+                     seed: int) -> float:
+    """Arrival rate at which ``capacity`` queries stay in flight back to
+    back: capacity over the solo (uncontended) query turnaround."""
+    engine = QueryEngine(capacity=1, service_time=service_time)
+    dims = overlay.domain().cover()[0].dims
+    handler = TopKHandler(LinearScore([1.0] * dims), 8)
+    initiator = overlay.random_peer(np.random.default_rng(seed))
+    job_id = engine.submit(initiator, handler, 1,
+                           restriction=overlay.domain(), strict=False)
+    engine.run()
+    outcome = engine.result_of(job_id)
+    assert outcome is not None
+    return capacity / max(1, outcome.turnaround)
+
+
+def load_profile(config: ExperimentConfig, *, capacity: int = 4,
+                 queue_limit: int = 8,
+                 service_time: int = 1) -> list[dict[str, object]]:
+    """Policy x load-multiplier serving rows on a MIDAS network."""
+    seed = config.network_seeds[0]
+    data = synth(config, 2, seed)
+    overlay = build_midas(data, config.default_size, seed)
+    base_rate = _saturation_rate(overlay, capacity=capacity,
+                                 service_time=service_time, seed=seed)
+    queries = max(24, 2 * config.queries)
+    rows: list[dict[str, object]] = []
+    for policy in POLICIES:
+        for mult in MULTIPLIERS:
+            engine = QueryEngine(capacity=capacity, queue_limit=queue_limit,
+                                 policy=_policy(policy),
+                                 service_time=service_time)
+            report = run_workload(
+                overlay, _spec(policy, queries=queries,
+                               rate=mult * base_rate, seed=seed),
+                engine=engine)
+            rows.append({"policy": policy, "load_x": mult,
+                         "p50": report.p50, "p99": report.p99,
+                         "shed_rate": report.shed_rate,
+                         "completed": report.completed,
+                         "submitted": report.submitted})
+    return rows
+
+
+def print_load_rows(rows: list[dict[str, object]]) -> None:
+    header = f"{'policy':10s} {'load':>6s} {'p50':>8s} {'p99':>8s} " \
+             f"{'shed':>6s} {'done':>5s}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['policy']:10s} {row['load_x']:>5.2f}x "
+              f"{row['p50']:>8.1f} {row['p99']:>8.1f} "
+              f"{row['shed_rate']:>6.2f} "
+              f"{row['completed']:>3d}/{row['submitted']}")
+
+
+def trace_overloaded_workload(config: ExperimentConfig,
+                              trace: TraceSink) -> None:
+    """One 2x-saturation FIFO workload with ``trace`` attached — the
+    representative recording behind ``load --trace-out``."""
+    seed = config.network_seeds[0]
+    data = synth(config, 2, seed)
+    overlay = build_midas(data, config.default_size, seed)
+    base_rate = _saturation_rate(overlay, capacity=4, service_time=1,
+                                 seed=seed)
+    engine = QueryEngine(capacity=4, queue_limit=8, service_time=1,
+                         sink=trace)
+    run_workload(overlay,
+                 _spec("fifo", queries=12, rate=2 * base_rate, seed=seed),
+                 engine=engine)

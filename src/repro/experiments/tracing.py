@@ -33,6 +33,7 @@ FAMILIES = {
     "fig7": "skyline", "fig8": "skyline",
     "fig9": "diversify", "fig10": "diversify",
     "fig11": "diversify", "fig12": "diversify",
+    "load": "load",
 }
 
 
@@ -40,6 +41,12 @@ def _run_traced(family: str, config: ExperimentConfig,
                 trace: QueryTrace) -> None:
     seed = config.network_seeds[0]
     rng = np.random.default_rng(seed)
+    if family == "load":
+        # A whole overloaded workload, not one query: the exported trace
+        # shows per-query root spans interleaving on shared peers.
+        from .load_profile import trace_overloaded_workload
+        trace_overloaded_workload(config, trace)
+        return
     if family == "diversify":
         data = mirflickr(config, seed)
         overlay = build_midas(data, config.div_default_size, seed)

@@ -10,12 +10,24 @@ __all__ = ["DuplicateVisitError", "QueryContext", "QueryResult",
            "EventSimulator", "SimulationBudgetExceeded",
            "event_driven_ripple", "DEFAULT_MAX_EVENTS",
            "FailureDetector", "FaultPlan", "region_volume",
-           "resilient_ripple"]
+           "resilient_ripple",
+           "AdmissionPolicy", "FifoPolicy", "PriorityPolicy",
+           "WeightedFairPolicy", "QueryJob", "QueryOutcome",
+           "QueryCompleted", "QueryRejected", "QueryDeadlineExceeded",
+           "QueryBudgetExceeded", "QueryEngine",
+           "WorkloadSpec", "WorkloadReport", "poisson_arrivals",
+           "run_workload"]
 
 _EVENTSIM = {"EventSimulator", "SimulationBudgetExceeded",
              "event_driven_ripple", "DEFAULT_MAX_EVENTS"}
 _FAULTS = {"FaultPlan", "region_volume", "resilient_ripple"}
 _DETECTOR = {"FailureDetector"}
+_SCHEDULER = {"AdmissionPolicy", "FifoPolicy", "PriorityPolicy",
+              "WeightedFairPolicy", "QueryJob", "QueryOutcome",
+              "QueryCompleted", "QueryRejected", "QueryDeadlineExceeded",
+              "QueryBudgetExceeded", "QueryEngine"}
+_WORKLOAD = {"WorkloadSpec", "WorkloadReport", "poisson_arrivals",
+             "run_workload"}
 
 
 def __getattr__(name: str) -> Any:
@@ -31,4 +43,10 @@ def __getattr__(name: str) -> Any:
     if name in _DETECTOR:
         from . import detector
         return getattr(detector, name)
+    if name in _SCHEDULER:
+        from . import scheduler
+        return getattr(scheduler, name)
+    if name in _WORKLOAD:
+        from . import workload
+        return getattr(workload, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -55,6 +55,10 @@ class QueryStats:
     response_messages: int = 0
     answer_messages: int = 0
     tuples_shipped: int = 0
+    #: Time units query work spent waiting in per-peer service queues
+    #: (nonzero only when the engine models a per-peer service rate; see
+    #: :class:`~repro.net.eventsim.EventSimulator` and docs/LOAD.md).
+    queue_delay: int = 0
     # -- fault accounting (nonzero only under an injected FaultPlan) ------
     timeouts: int = 0
     retries: int = 0
@@ -88,6 +92,7 @@ class QueryStats:
             response_messages=self.response_messages + other.response_messages,
             answer_messages=self.answer_messages + other.answer_messages,
             tuples_shipped=self.tuples_shipped + other.tuples_shipped,
+            queue_delay=self.queue_delay + other.queue_delay,
             timeouts=self.timeouts + other.timeouts,
             retries=self.retries + other.retries,
             reroutes=self.reroutes + other.reroutes,
@@ -146,6 +151,31 @@ class QueryContext:
     #: happened; the latency of a resilient execution (control events such
     #: as cancelled timers must not stretch the critical path).
     last_activity: int = 0
+    # -- concurrent scheduling (see repro.net.scheduler, docs/LOAD.md) ----
+    #: Identity of this query inside a concurrent engine; ``None`` for
+    #: standalone single-query executions.
+    query_id: Hashable | None = None
+    #: Absolute simulation time past which this query is over budget.
+    #: ``None`` disables deadline enforcement (the single-query default).
+    deadline: int | None = None
+    #: Per-query event budget; ``None`` defers to the simulator's global
+    #: cap.  Under a concurrent engine every query gets its own budget so
+    #: one runaway cannot exhaust a shared cap and kill its co-tenants.
+    max_events: int | None = None
+    #: Events the simulator has executed on this query's behalf.
+    events_executed: int = 0
+    #: Simulation time this query's root invocation was launched; the
+    #: zero point of its latency measurements under concurrency.
+    started_at: int = 0
+    #: Set when the query is cancelled (deadline blown, budget exhausted):
+    #: the simulator drops the query's still-queued events instead of
+    #: executing them, so a dead query cannot poison shared peer queues.
+    cancelled: bool = False
+    #: Why the query was cancelled (``"deadline"`` / ``"budget"``).
+    cancel_reason: str | None = None
+    #: Accumulated time units this query's messages spent queued behind
+    #: other traffic at busy peers (see EventSimulator.service_time).
+    queue_delay: int = 0
     #: Observability hook (see :mod:`repro.obs.trace`): the engines emit
     #: hop-level spans and events here.  The default :data:`NULL_SINK`
     #: is stateless and permanently disabled, so unobserved executions
@@ -208,6 +238,16 @@ class QueryContext:
         """A dead peer's data was processed from a live replica."""
         self.replica_reads += 1
 
+    def on_queue_wait(self, wait: int) -> None:
+        """A message waited ``wait`` time units in a peer's service queue."""
+        if wait > 0:
+            self.queue_delay += wait
+
+    def cancel(self, reason: str) -> None:
+        """Stop this query: its still-queued events will be dropped."""
+        self.cancelled = True
+        self.cancel_reason = reason
+
     def note_time(self, now: int) -> None:
         if now > self.last_activity:
             self.last_activity = now
@@ -228,6 +268,7 @@ class QueryContext:
             response_messages=self.response_messages,
             answer_messages=self.answer_messages,
             tuples_shipped=self.tuples_shipped,
+            queue_delay=self.queue_delay,
             timeouts=self.timeouts,
             retries=self.retries,
             reroutes=self.reroutes,

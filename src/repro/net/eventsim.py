@@ -33,6 +33,18 @@ back their per-peer reductions with the
 :class:`~repro.common.store.LocalStore` computation cache — so a retried
 or re-routed forward that re-processes a peer reuses the already-computed
 local skyline / score index instead of reducing the array again.
+
+Concurrency (see :mod:`repro.net.scheduler` and ``docs/LOAD.md``): the
+simulator multiplexes many :class:`~repro.net.context.QueryContext`\\ s
+over one event queue.  Every scheduled event may carry the context it
+works for; the run loop attributes executed events to their query
+(per-query event budgets), drops events of cancelled queries (deadline
+enforcement without poisoning shared queues), and — when a per-peer
+``service_time`` is configured — funnels message handling through
+per-peer FIFO service queues so queueing delay at hot peers becomes part
+of the latency model.  With the default ``service_time = 0`` and a single
+context the engine is bit-identical to the historical single-query
+behaviour.
 """
 
 from __future__ import annotations
@@ -75,14 +87,21 @@ class SimulationBudgetExceeded(RuntimeError):
     so callers can report how far the degraded query got instead of
     losing all observability.  Subclasses ``RuntimeError`` for backward
     compatibility with pre-existing ``except RuntimeError`` handlers.
+
+    Budgets are per query where possible: a context with ``max_events``
+    set carries its own cap, and the exception then also names the
+    offending query (``query_id``) so a concurrent scheduler can shed
+    exactly the runaway instead of killing its co-scheduled tenants.
     """
 
     def __init__(self, message: str, *, cap: int, executed: int,
-                 stats: "QueryStats | None" = None) -> None:
+                 stats: "QueryStats | None" = None,
+                 query_id: Hashable | None = None) -> None:
         super().__init__(message)
         self.cap = cap
         self.executed = executed
         self.stats = stats
+        self.query_id = query_id
 
 
 class EventSimulator:
@@ -91,15 +110,37 @@ class EventSimulator:
     ``faults`` (a :class:`~repro.net.faults.FaultPlan`) enables the
     supervised delivery machinery; ``max_events`` caps how many events
     :meth:`run` may execute before raising ``RuntimeError``.
+
+    ``service_time`` models per-peer processing capacity: each message a
+    peer handles occupies it for that many time units, and concurrent
+    arrivals wait in the peer's FIFO service queue (:meth:`service`).
+    The default ``0`` keeps the classic infinite-capacity model and is
+    bit-identical to the pre-multiplexing engine.
     """
 
     def __init__(self, faults: "FaultPlan | None" = None, *,
-                 max_events: int | None = DEFAULT_MAX_EVENTS) -> None:
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+                 max_events: int | None = DEFAULT_MAX_EVENTS,
+                 service_time: int = 0) -> None:
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        self._queue: list[tuple[int, int, Callable[[], None],
+                                QueryContext | None]] = []
         self._counter = itertools.count()
         self.now = 0
         self.faults = faults
         self.max_events = max_events
+        self.service_time = service_time
+        #: Per-peer FIFO service reservations: peer id -> time its queue
+        #: drains.  Empty (and never consulted) when ``service_time == 0``.
+        self._busy_until: dict[Hashable, int] = {}
+        #: Per-peer cumulative busy time; ``busy / elapsed`` is the peer's
+        #: saturation, surfaced by the load benchmarks and the obs layer.
+        self.busy_time: dict[Hashable, int] = {}
+        #: Concurrent-scheduler hook: called as ``on_overrun(ctx, reason)``
+        #: when a context blows its deadline or per-query event budget.
+        #: Without a hook a blown per-query budget raises
+        #: :class:`SimulationBudgetExceeded` like the global cap does.
+        self.on_overrun: Callable[[QueryContext, str], None] | None = None
         self._messages = itertools.count()
         self._request_ids = itertools.count()
         #: Supervised-request registry: request id -> :class:`_RequestEntry`.
@@ -122,11 +163,66 @@ class EventSimulator:
     def new_request_id(self) -> int:
         return next(self._request_ids)
 
-    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+    def schedule(self, delay: int, action: Callable[[], None],
+                 ctx: QueryContext | None = None) -> None:
+        """Enqueue ``action`` after ``delay`` time units.
+
+        ``ctx`` attributes the event to one query: the run loop charges
+        it against that query's event budget and silently drops it if the
+        query has been cancelled.  Unattributed events fall back to the
+        simulator-wide :attr:`context` (the single-query convention).
+        """
         if delay < 0:
             raise ValueError("cannot schedule into the past")
         heapq.heappush(self._queue,
-                       (self.now + delay, next(self._counter), action))
+                       (self.now + delay, next(self._counter), action, ctx))
+
+    def deliver(self, peer_id: Hashable, delay: int,
+                action: Callable[[], None],
+                ctx: QueryContext | None = None) -> None:
+        """Schedule a message arrival at ``peer_id``, then serve it.
+
+        With ``service_time == 0`` this is exactly :meth:`schedule`; with
+        a service rate configured, the arrival joins the target peer's
+        FIFO service queue (see :meth:`service`), so congestion at hot
+        peers stretches the query's critical path.
+        """
+        if self.service_time <= 0:
+            self.schedule(delay, action, ctx)
+            return
+        self.schedule(delay, lambda: self.service(peer_id, action, ctx),
+                      ctx)
+
+    def service(self, peer_id: Hashable, action: Callable[[], None],
+                ctx: QueryContext | None = None) -> None:
+        """Run ``action`` through ``peer_id``'s FIFO service queue.
+
+        The peer serves one message per ``service_time`` time units;
+        an arrival finding the peer busy waits until the reservations
+        ahead of it drain (the wait is charged to the owning query's
+        ``queue_delay``).  A zero service time serves synchronously —
+        the infinite-capacity model the single-query engines assume.
+        """
+        if self.service_time <= 0:
+            action()
+            return
+        start = max(self.now, self._busy_until.get(peer_id, 0))
+        wait = start - self.now
+        self._busy_until[peer_id] = start + self.service_time
+        self.busy_time[peer_id] = (self.busy_time.get(peer_id, 0)
+                                   + self.service_time)
+        if wait <= 0:
+            action()
+            return
+        if ctx is not None:
+            ctx.on_queue_wait(wait)
+        self.schedule(wait, action, ctx)
+
+    def _overrun(self, owner: QueryContext, reason: str) -> None:
+        """Cancel ``owner`` and notify the scheduler hook, if any."""
+        owner.cancel(reason)
+        if self.on_overrun is not None:
+            self.on_overrun(owner, reason)
 
     def run(self, max_events: int | None = None) -> int:
         """Drain the queue; returns the time of the last event.
@@ -136,12 +232,23 @@ class EventSimulator:
         execute — a loud safety net against retry storms and
         self-rescheduling bugs.  When a context is attached the exception
         carries the partial stats collected so far.
+
+        Per-query enforcement: each executed event is attributed to the
+        context it was scheduled for (falling back to :attr:`context`).
+        Events of a cancelled query are dropped unexecuted; an event past
+        its query's ``deadline`` cancels the query instead of running;
+        and a query whose own ``max_events`` budget blows is cancelled
+        through :attr:`on_overrun` when a scheduler is listening, else
+        raises with the per-query cap and ``query_id``.
         """
         cap = self.max_events if max_events is None else max_events
         last = 0
         executed = 0
         while self._queue:
-            time, _, action = heapq.heappop(self._queue)
+            time, _, action, ctx = heapq.heappop(self._queue)
+            owner = ctx if ctx is not None else self.context
+            if owner is not None and owner.cancelled:
+                continue  # in-flight work of a dead query: drop it
             executed += 1
             if cap is not None and executed > cap:
                 stats = None if self.context is None \
@@ -151,6 +258,24 @@ class EventSimulator:
                     "likely a retry storm or a scheduling bug "
                     "(raise max_events if the workload is legitimate)",
                     cap=cap, executed=executed, stats=stats)
+            if owner is not None:
+                if owner.deadline is not None and time > owner.deadline:
+                    self._overrun(owner, "deadline")
+                    continue
+                owner.events_executed += 1
+                qcap = owner.max_events
+                if qcap is not None and owner.events_executed > qcap:
+                    if self.on_overrun is not None:
+                        self._overrun(owner, "budget")
+                        continue
+                    owner.cancel("budget")
+                    raise SimulationBudgetExceeded(
+                        f"query {owner.query_id!r} exceeded its per-query "
+                        f"event budget of {qcap}; likely a retry storm "
+                        "(raise the query's max_events if legitimate)",
+                        cap=qcap, executed=owner.events_executed,
+                        stats=owner.stats(self.now),
+                        query_id=owner.query_id)
             self.now = last = time
             action()
         return last
@@ -313,7 +438,8 @@ class _Invocation:
                                     link.peer, self.global_state, sub, 0,
                                     self.initiator_id, child_done,
                                     parent_span=self.span or None)
-                self.sim.schedule(1, child.start)
+                self.sim.deliver(physical_id(link.peer), 1, child.start,
+                                 self.ctx)
             else:
                 _Attempt(self, link.peer, sub, 0,
                          on_states=child_done, on_give_up=settle).send()
@@ -342,7 +468,8 @@ class _Invocation:
                                     self.r - 1, self.initiator_id,
                                     self._on_response,
                                     parent_span=self.span or None)
-                self.sim.schedule(1, child.start)
+                self.sim.deliver(physical_id(link.peer), 1, child.start,
+                                 self.ctx)
             else:
                 _Attempt(self, link.peer, sub, self.r - 1,
                          on_states=self._on_response,
@@ -485,11 +612,11 @@ class _Attempt:
         gen = self.gen
         message = self.sim.new_message_id()
         delay = self.extra_delay + self.faults.forward_delay(message)
-        self.sim.schedule(delay, lambda: self._deliver(message))
+        self.sim.schedule(delay, lambda: self._deliver(message), self.ctx)
         # The deadline rides on top of the actual delay so jitter can
         # never fire a spurious timeout; backoff doubles per attempt.
         deadline = delay + (self.faults.ack_timeout << (self.tries - 1))
-        self.sim.schedule(deadline, lambda: self._ack_timeout(gen))
+        self.sim.schedule(deadline, lambda: self._ack_timeout(gen), self.ctx)
 
     def _maybe_redirect(self) -> None:
         """Patched-link fast path: the failure detector already declared
@@ -546,7 +673,7 @@ class _Attempt:
                             self._child_finished,
                             route_depth=self.route_depth,
                             parent_span=self.span or None)
-        child.start()
+        self.sim.service(physical_id(self.target), child.start, self.ctx)
 
     def _send_ack(self) -> None:
         self.ctx.on_ack()
@@ -588,7 +715,7 @@ class _Attempt:
     def _arm_watchdog(self) -> None:
         gen = self.gen
         period = self.faults.watchdog_base << min(self.watchdogs, 16)
-        self.sim.schedule(period, lambda: self._watchdog(gen))
+        self.sim.schedule(period, lambda: self._watchdog(gen), self.ctx)
 
     def _watchdog(self, gen: int) -> None:
         if self.done or gen != self.gen:
@@ -767,7 +894,7 @@ def event_driven_ripple(
     root = _Invocation(sim, ctx, handler, initiator,
                        handler.initial_state(), restriction,
                        min(r, SLOW), initiator.peer_id, lambda states: None)
-    sim.schedule(0, root.start)
+    sim.schedule(0, root.start, ctx)
     latency = sim.run()
     answer = handler.finalize(ctx.collected_answers)
     return QueryResult(answer=answer, stats=ctx.stats(latency))

@@ -302,7 +302,7 @@ def resilient_ripple(
     root = _Invocation(sim, ctx, handler, initiator,
                        handler.initial_state(), restriction,
                        min(r, SLOW), initiator.peer_id, finish)
-    sim.schedule(0, root.start)
+    sim.schedule(0, root.start, ctx)
     sim.run()
     answer = handler.finalize(ctx.collected_answers)
     return QueryResult(answer=answer, stats=ctx.stats(ctx.last_activity))

@@ -416,6 +416,51 @@ class TestRPL010:
         assert ripplelint.lint_source(source, virtual_path=SINK_PATH) == []
 
 
+# -- RPL011: bounded retry/queue loops -------------------------------------
+
+
+NET_PATH = "src/repro/net/custom_pump.py"
+
+
+class TestRPL011:
+    def test_bad_unbounded_pump(self):
+        source = ("def pump(sim):\n"
+                  "    while True:\n"
+                  "        sim.schedule(1, sim.tick)\n")
+        findings = ripplelint.lint_source(source, virtual_path=NET_PATH)
+        assert rules_of(findings) == ["RPL011"]
+        assert findings[0].line == 2
+
+    def test_bad_truthiness_loop_without_bound(self):
+        source = ("def drain(queue):\n"
+                  "    while queue:\n"
+                  "        queue.pop()\n")
+        findings = ripplelint.lint_source(source, virtual_path=NET_PATH)
+        assert rules_of(findings) == ["RPL011"]
+
+    def test_good_compare_bounded_loop(self):
+        source = ("def pump(sim, max_pumps):\n"
+                  "    pumps = 0\n"
+                  "    while pumps < max_pumps:\n"
+                  "        pumps += 1\n"
+                  "        sim.schedule(1, sim.tick)\n")
+        assert ripplelint.lint_source(source, virtual_path=NET_PATH) == []
+
+    def test_good_bound_token_in_body(self):
+        # The event pump's shape: truthiness condition, but the body
+        # consults an explicit cap every iteration.
+        source = ("def run(self):\n"
+                  "    while self._queue:\n"
+                  "        if self.max_events is not None:\n"
+                  "            self._charge()\n")
+        assert ripplelint.lint_source(source, virtual_path=NET_PATH) == []
+
+    def test_outside_net_is_exempt(self):
+        source = "while True:\n    pass\n"
+        assert ripplelint.lint_source(
+            source, virtual_path="src/repro/queries/mod.py") == []
+
+
 # -- suppression comments --------------------------------------------------
 
 
@@ -465,7 +510,8 @@ class TestCli:
         assert ripplelint.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
-                        "RPL006", "RPL007", "RPL008", "RPL009", "RPL010"):
+                        "RPL006", "RPL007", "RPL008", "RPL009", "RPL010",
+                        "RPL011"):
             assert rule_id in out
 
     def test_rule_filter(self, tmp_path, capsys):
