@@ -21,8 +21,8 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["add_gate_arguments", "gate", "log", "read_json", "seeded_rng",
-           "write_json"]
+__all__ = ["add_gate_arguments", "compare_rss", "gate", "log", "peak_rss_mib",
+           "read_json", "seeded_rng", "write_json"]
 
 
 def log(msg: str) -> None:
@@ -34,6 +34,46 @@ def seeded_rng(seed: int) -> np.random.Generator:
     """The benchmark suite's one generator constructor (RPL001: every
     draw in a gate driver must flow from an explicit seed)."""
     return np.random.default_rng(seed)
+
+
+def peak_rss_mib() -> float:
+    """Peak resident set size of this process so far, in MiB.
+
+    Backed by ``getrusage(RUSAGE_SELF).ru_maxrss`` — a high-water mark,
+    so per-row deltas are meaningful only for the rows that *raise* the
+    peak (record rows largest-last, or treat the column as cumulative).
+    Linux reports KiB, macOS bytes; normalized here.  Returns ``0.0``
+    where ``resource`` is unavailable (non-POSIX), which both recording
+    and comparison treat as "column not measured".
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only fallback
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def compare_rss(fresh_mib: float, baseline_mib: float, *, label: str,
+                tolerance: float) -> list[str]:
+    """Banded peak-memory comparison, shared by every gate's policy.
+
+    Memory regressions only (a *smaller* footprint is always a pass),
+    with a relative band: fails when the fresh peak exceeds the baseline
+    by more than ``tolerance`` (e.g. ``0.5`` allows +50%).  Rows measured
+    as ``0.0`` on either side — platform without ``resource`` — are
+    skipped rather than failed, so baselines stay portable.
+    """
+    if not fresh_mib or not baseline_mib:
+        return []
+    limit = baseline_mib * (1.0 + tolerance)
+    if fresh_mib > limit:
+        return [f"{label}: peak RSS {fresh_mib:.1f} MiB exceeds "
+                f"baseline {baseline_mib:.1f} MiB "
+                f"(+{tolerance:.0%} band = {limit:.1f} MiB)"]
+    return []
 
 
 def add_gate_arguments(parser: argparse.ArgumentParser, *,

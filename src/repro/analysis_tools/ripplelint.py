@@ -20,13 +20,15 @@ rule        invariant
 ``RPL009``  ``# type: ignore`` must be narrow and carry a justification
 ``RPL010``  trace-sink overrides must not mutate ``QueryContext`` state
 ``RPL011``  retry/queue loops in ``repro/net`` carry an explicit bound
+``RPL012``  arena modules: no object dtypes, no per-peer Python loops
 ==========  ===========================================================
 
 Rules RPL001/002/003/004/006/009/010 apply to ``src/repro``,
 ``benchmarks/``, and ``tools/`` alike (the simulation invariants bind
 benchmark drivers exactly as hard as library code); RPL005 is scoped to
 ``repro/overlays``, RPL007 to the numeric kernel modules, RPL008 to the
-``repro`` package tree, RPL011 to ``repro/net``.
+``repro`` package tree, RPL011 to ``repro/net``, RPL012 to the arena
+substrate modules.
 
 Findings print as ``path:line:col: RPLxxx message`` (or as GitHub
 problem-matcher ``::error`` lines with ``--format github``) and the
@@ -921,6 +923,100 @@ def _check_rpl011(module: ParsedModule) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPL012 -- arena modules stay vectorized
+# ---------------------------------------------------------------------------
+
+#: The structure-of-arrays substrate: these modules exist so that no
+#: per-peer Python object or loop stands between a query and the flat
+#: arrays.  The mirror *builder* inherently walks the object peers once;
+#: its loops carry per-line suppressions rather than a scope exemption,
+#: so every new loop is a conscious decision.
+_ARENA_MODULES = ("repro/overlays/arena.py", "repro/overlays/arena_build.py")
+
+#: Identifiers that denote "the whole peer range" when iterated.
+_PEER_RANGE_NAMES = frozenset({"peers", "n_peers", "num_peers",
+                               "peer_count"})
+
+
+def _is_object_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id == "object":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in ("object_", "object"):
+        return True
+    return isinstance(node, ast.Constant) and node.value in ("object", "O")
+
+
+def _iterates_peer_range(expr: ast.AST) -> bool:
+    """True when a loop iterable mentions the peer range: a ``.peers()``
+    call, or an identifier like ``peers``/``n_peers`` (also inside
+    ``range(...)``/``enumerate(...)`` wrappers)."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            if isinstance(callee, ast.Attribute) and callee.attr == "peers":
+                return True
+            if isinstance(callee, ast.Name) and callee.id == "peers":
+                return True
+        if isinstance(sub, ast.Name) and sub.id in _PEER_RANGE_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _PEER_RANGE_NAMES:
+            return True
+    return False
+
+
+def _check_rpl012(module: ParsedModule) -> Iterator[Finding]:
+    """RPL012: arena modules hold no object arrays and no per-peer loops.
+
+    The arena substrate's entire value is that per-peer state lives in
+    flat *typed* NumPy arrays operated on wholesale: a ``dtype=object``
+    array silently reintroduces one Python object per peer (boxing,
+    pointer-chasing, no vectorized kernels), and a Python ``for`` loop
+    or comprehension over the peer range reintroduces the O(n)
+    interpreter cost the arena exists to remove — harmless at 200 peers,
+    fatal at 1M.  Flags ``dtype=object`` (including ``np.object_``,
+    ``"object"``/``"O"`` strings, and ``.astype(object)``) anywhere in
+    an arena module, and any ``for``/comprehension whose iterable
+    mentions the peer range (a ``.peers()`` call or a
+    ``peers``/``n_peers``-style identifier, bare or inside
+    ``range``/``enumerate``).  The mirror builder's one-time snapshot
+    walk carries per-line suppressions — the loop is the documented
+    exception, not the default.
+    """
+    if not _in_scope(module, _ARENA_MODULES):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg == "dtype" \
+                        and _is_object_dtype(keyword.value):
+                    yield _finding(
+                        module, node, "RPL012",
+                        "dtype=object defeats the arena's flat typed "
+                        "layout; use a numeric dtype (encode ragged data "
+                        "as CSR offsets + a flat payload)")
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "astype" and node.args \
+                    and _is_object_dtype(node.args[0]):
+                yield _finding(
+                    module, node, "RPL012",
+                    "astype(object) defeats the arena's flat typed "
+                    "layout; keep the array numeric")
+        iterables: list[ast.AST] = []
+        if isinstance(node, ast.For):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iterables.extend(comp.iter for comp in node.generators)
+        if any(_iterates_peer_range(it) for it in iterables):
+            yield _finding(
+                module, node, "RPL012",
+                "Python-level loop over the peer range inside an arena "
+                "module; express this as a vectorized kernel over the "
+                "flat arrays (or suppress per line if the walk is a "
+                "one-time snapshot of an object overlay)")
+
+
+# ---------------------------------------------------------------------------
 # Registry and driver
 # ---------------------------------------------------------------------------
 
@@ -939,6 +1035,7 @@ RULES: tuple[Rule, ...] = tuple(
         ("RPL009", _check_rpl009),
         ("RPL010", _check_rpl010),
         ("RPL011", _check_rpl011),
+        ("RPL012", _check_rpl012),
     ]
 )
 

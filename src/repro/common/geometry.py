@@ -41,7 +41,9 @@ __all__ = [
     "linf_distance",
     "mindist",
     "maxdist",
+    "mindist_batch",
     "dominates",
+    "contains_batch",
 ]
 
 
@@ -227,6 +229,61 @@ def maxdist(point: Sequence[float], rect: Rect, p: float = 2) -> float:
     farthest = tuple(l if abs(q - l) >= abs(q - h) else h
                      for q, l, h in zip(point, rect.lo, rect.hi))
     return minkowski_distance(point, farthest, p)
+
+
+# ---------------------------------------------------------------------------
+# Batched box tests (the wavefront / arena hot path)
+# ---------------------------------------------------------------------------
+#
+# The scalar helpers above are per-hop primitives: one point, one box.  A
+# batched wavefront evaluates them for every tuple (or every link) touched
+# in one expansion wave, so the arena kernels consume array forms.  Both
+# accept per-row bounds — ``lo``/``hi`` broadcast against ``points`` — and
+# reproduce the scalar results exactly (same comparisons, no re-ordering
+# of floating-point work).
+
+def contains_batch(points: "np.ndarray", lo: "np.ndarray", hi: "np.ndarray",
+                   *, closed: bool = False) -> "np.ndarray":
+    """Vectorized :meth:`Rect.contains`: one boolean per row of ``points``.
+
+    ``points`` is ``(m, d)``; ``lo``/``hi`` are ``(d,)`` (one box for all
+    rows) or ``(m, d)`` (a box per row).  Matches the scalar test bit for
+    bit: half-open ``lo <= p < hi`` by default, closed boxes with
+    ``closed=True``.
+    """
+    import numpy as np
+
+    points = np.asarray(points, dtype=float)
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    upper = points <= hi if closed else points < hi
+    return np.logical_and(points >= lo, upper).all(axis=-1)
+
+
+def mindist_batch(point: Sequence[float], lo: "np.ndarray",
+                  hi: "np.ndarray", p: float = 2) -> "np.ndarray":
+    """Vectorized :func:`mindist` from one ``point`` to many boxes.
+
+    ``lo``/``hi`` are ``(m, d)`` stacked box bounds; returns the ``(m,)``
+    minimum L_p distances.  The clamp is computed exactly like
+    :meth:`Rect.clamp` (min/max per coordinate), so for the metrics the
+    handlers use (``p`` in {1, 2, inf}) each row is bit-identical to the
+    scalar ``mindist(point, Rect(lo[i], hi[i]), p)``; for other ``p`` the
+    vectorized ``x ** (1/p)`` root may differ from libm by one ulp.
+    """
+    import numpy as np
+
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    q = np.asarray(tuple(float(v) for v in point))
+    delta = np.abs(np.minimum(np.maximum(q, lo), hi) - q)
+    if p == 1:
+        return delta.sum(axis=-1)
+    if math.isinf(p):
+        return delta.max(axis=-1)
+    if p == 2:
+        return np.sqrt((delta * delta).sum(axis=-1))
+    return (delta ** p).sum(axis=-1) ** (1.0 / p)
 
 
 # ---------------------------------------------------------------------------

@@ -4,11 +4,21 @@ The simulator must be reproducible across processes, so anywhere a peer
 makes a "random but stable" choice (e.g. which peer inside a sibling
 subtree to link to) we derive it from a splitmix64-style mix of structural
 integers instead of Python's per-process ``hash``.
+
+:func:`mix_array` is the batched form: it evaluates :func:`mix` over
+whole NumPy arrays of operands at once (64-bit wraparound arithmetic on
+``uint64``), producing bit-identical values — the arena builders use it
+to resolve millions of link-target descents without a Python-level loop.
 """
 
 from __future__ import annotations
 
-__all__ = ["mix", "path_key"]
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - scalar helpers stay NumPy-free
+    import numpy as np
+
+__all__ = ["mix", "mix_array", "path_key"]
 
 _MASK = (1 << 64) - 1
 
@@ -23,6 +33,33 @@ def mix(*values: int) -> int:
         acc ^= acc >> 27
         acc = (acc * 0x94D049BB133111EB) & _MASK
         acc ^= acc >> 31
+    return acc
+
+
+def mix_array(*values: "int | np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`mix`: each operand is a scalar or a ``uint64`` array.
+
+    Operands broadcast against each other; the result equals
+    ``[mix(*row) for row in zip(*broadcast(values))]`` bit for bit, but is
+    computed with a constant number of NumPy operations per operand.  All
+    arithmetic is modulo ``2**64`` (``uint64`` wraparound), exactly like
+    the masked Python-integer arithmetic of the scalar form.
+    """
+    import numpy as np
+
+    with np.errstate(over="ignore"):
+        acc = np.asarray(np.uint64(0x9E3779B97F4A7C15))
+        golden = np.uint64(0x9E3779B97F4A7C15)
+        m1 = np.uint64(0xBF58476D1CE4E5B9)
+        m2 = np.uint64(0x94D049BB133111EB)
+        for value in values:
+            operand = np.asarray(value).astype(np.uint64)
+            acc = acc + operand + golden
+            acc = acc ^ (acc >> np.uint64(30))
+            acc = acc * m1
+            acc = acc ^ (acc >> np.uint64(27))
+            acc = acc * m2
+            acc = acc ^ (acc >> np.uint64(31))
     return acc
 
 

@@ -62,6 +62,10 @@ class LocalStore:
     #: flip it off to measure the uncached (pre-cache) behaviour.
     cache_enabled: bool = True
 
+    #: True for arena-backed read-only views (:meth:`view_of`): the buffer
+    #: is a slice of a shared substrate array, so mutation is forbidden.
+    _frozen: bool = False
+
     def __init__(self, dims: int, points: Iterable[Sequence[float]] = ()) -> None:
         if dims <= 0:
             raise ValueError("dims must be positive")
@@ -74,6 +78,33 @@ class LocalStore:
         self.cache_misses = 0
         for point in points:
             self.insert(point)
+
+    @classmethod
+    def view_of(cls, array: np.ndarray) -> "LocalStore":
+        """A zero-copy read-only store over an ``(m, d)`` array slice.
+
+        The arena substrate keeps every peer's tuples as one row range of
+        a shared array; this constructor wraps such a range in the full
+        store API (kernels, score index, computation cache) without
+        copying.  The view is frozen: mutators raise, and the underlying
+        rows are marked non-writeable.
+        """
+        array = np.asarray(array, dtype=float)
+        if array.ndim != 2 or array.shape[1] == 0:
+            raise ValueError(f"expected a (m, d) array, got shape {array.shape}")
+        store = cls.__new__(cls)
+        store.dims = array.shape[1]
+        # A private view: freezing its writeable flag never mutates the
+        # caller's array object.
+        store._buf = array.view()
+        store._buf.flags.writeable = False
+        store._size = len(array)
+        store._version = 0
+        store._cache = {}
+        store.cache_hits = 0
+        store.cache_misses = 0
+        store._frozen = True
+        return store
 
     # -- capacity -----------------------------------------------------------
 
@@ -134,6 +165,27 @@ class LocalStore:
             self.cache_hits += 1
         return value
 
+    def prime(self, key: Hashable, value: Any) -> None:
+        """Seed the computation cache with an externally computed value.
+
+        The batched wavefront kernels (:mod:`repro.overlays.arena`)
+        evaluate one grouped reduction for every store touched in an
+        expansion wave, then *prime* each store's cache with its slice of
+        the result; the handlers subsequently call :meth:`cached` (via
+        ``top_scoring`` / the local-skyline memo) and hit the primed
+        entry instead of recomputing per peer.  The caller guarantees the
+        value equals what ``compute()`` would have produced for the
+        current version — bit for bit, since primed results flow into
+        answers.  No-op when caching is disabled or the key is already
+        present; never bumps hit/miss counters (those track the scalar
+        protocol).
+        """
+        if not self.cache_enabled or key in self._cache:
+            return
+        if len(self._cache) >= _CACHE_CAP:
+            self._cache.clear()
+        self._cache[key] = value
+
     def _score_index(self, fn: ScoringFunction
                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(scores, order, sorted_desc)`` for ``fn``, cached per version.
@@ -151,7 +203,13 @@ class LocalStore:
 
     # -- mutation -----------------------------------------------------------
 
+    def _writable(self) -> None:
+        if self._frozen:
+            raise TypeError("arena store views are read-only; mutate the "
+                            "substrate by rebuilding the arena")
+
     def insert(self, point: Sequence[float]) -> None:
+        self._writable()
         if len(point) != self.dims:
             raise ValueError(f"expected {self.dims}-d point, got {len(point)}-d")
         self._reserve(1)
@@ -160,6 +218,7 @@ class LocalStore:
         self._invalidate()
 
     def bulk_load(self, array: np.ndarray) -> None:
+        self._writable()
         array = np.asarray(array, dtype=float)
         if array.ndim != 2 or array.shape[1] != self.dims:
             raise ValueError(f"expected (m, {self.dims}) array, got {array.shape}")
@@ -174,6 +233,7 @@ class LocalStore:
         Used when a zone splits: the tuples of the new sibling zone move to
         the joining peer.
         """
+        self._writable()
         live = self._buf[: self._size]
         inside = np.all((live >= rect.lo) & (live < rect.hi), axis=1)
         moved = live[inside].copy()
@@ -185,6 +245,7 @@ class LocalStore:
 
     def take_all(self) -> np.ndarray:
         """Remove and return every tuple (zone merge on peer departure)."""
+        self._writable()
         out = self._buf[: self._size].copy()
         self._size = 0
         self._invalidate()

@@ -104,6 +104,7 @@ def run_ripple(
     strict: bool = True,
     initial_state: Any | None = None,
     sink: TraceSink | None = None,
+    executor: Any | None = None,
 ) -> QueryResult:
     """Process a rank query with ripple parameter ``r`` (Algorithm 3).
 
@@ -115,12 +116,16 @@ def run_ripple(
     diversification loop passes an explicit threshold this way
     (Algorithm 23, line 10).  ``sink`` attaches a trace recorder (see
     :mod:`repro.obs.trace`); the default records nothing at zero cost.
+    ``executor`` swaps the traversal engine for anything
+    signature-compatible with :func:`execute` — the arena's batched
+    wavefront engine is the in-repo alternative.
     """
     ctx = QueryContext(strict=strict)
     if sink is not None:
         ctx.sink = sink
-    return execute(initiator, handler, r, restriction=restriction, ctx=ctx,
-                   initial_state=initial_state)
+    engine = executor if executor is not None else execute
+    return engine(initiator, handler, r, restriction=restriction, ctx=ctx,
+                  initial_state=initial_state)
 
 
 def execute(

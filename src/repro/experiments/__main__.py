@@ -60,7 +60,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.experiments")
     parser.add_argument("figure",
                         choices=[*FIGURES, "lemmas", "ablation",
-                                 "decreasing", "load", "all", "list"])
+                                 "decreasing", "load", "scale", "all",
+                                 "list"])
     parser.add_argument("--scale", choices=list(SCALES), default="default")
     parser.add_argument("--csv", metavar="PATH",
                         help="also write the rows as CSV to PATH")
@@ -80,10 +81,12 @@ def main(argv: list[str] | None = None) -> int:
         print("ablation Section 5.2 link policy: random vs boundary")
         print("decreasing  top-k during the decreasing (departure) stage")
         print("load     concurrent engine: p50/p99/shedding vs arrival rate")
+        print("scale    Lemma 1-3 latency at 10k-1M peers (arena substrate)")
         return 0
 
     config = SCALES[args.scale]()
-    targets = (list(FIGURES) + ["lemmas", "ablation", "decreasing", "load"]
+    targets = (list(FIGURES) + ["lemmas", "ablation", "decreasing", "load",
+                                "scale"]
                if args.figure == "all" else [args.figure])
     for target in targets:
         start = _wallclock()
@@ -99,6 +102,9 @@ def main(argv: list[str] | None = None) -> int:
         elif target == "load":
             from .load_profile import load_profile, print_load_rows
             print_load_rows(load_profile(config))
+        elif target == "scale":
+            from .scale_profile import print_scale_rows, scale_profile
+            print_scale_rows(scale_profile(config))
         else:
             figure, _ = FIGURES[target]
             rows = figure(config)

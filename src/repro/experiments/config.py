@@ -68,6 +68,11 @@ class ExperimentConfig:
     div_ks: tuple[int, ...] = (10, 20, 40)
     div_lambdas: tuple[float, ...] = (0.0, 0.2, 0.5, 0.8, 1.0)
     div_max_iters: int = 5
+    #: complete-tree depths for the arena scale target (``python -m
+    #: repro.experiments scale``): network sizes are ``2**depth`` peers.
+    #: Default re-validates Lemmas 1-3 at ~10k and ~131k peers; paper
+    #: scale adds the 1M-peer (2**20) row.
+    scale_depths: tuple[int, ...] = (13, 17)
     seed: int = 1
 
     def scaled(self, **overrides) -> "ExperimentConfig":
@@ -101,6 +106,7 @@ def smoke_config() -> ExperimentConfig:
         div_queries=1,
         div_k=5,
         div_max_iters=3,
+        scale_depths=(6, 9),
     )
 
 
@@ -128,4 +134,5 @@ def paper_config() -> ExperimentConfig:
         div_k=10,
         div_lambdas=PAPER_LAMBDAS,
         div_max_iters=10,
+        scale_depths=(13, 17, 20),
     )

@@ -1,5 +1,14 @@
-"""DHT overlays: MIDAS, CAN, Chord, BATON (+ Z-curve, super-peer tier)."""
+"""DHT overlays: MIDAS, CAN, Chord, BATON (+ Z-curve, super-peer tier).
 
+The arena substrate (:mod:`repro.overlays.arena`) re-expresses MIDAS,
+Chord, and CAN networks as flat structure-of-arrays snapshots for
+100k–1M-peer simulation; :mod:`repro.overlays.arena_build` holds the
+mirror and at-scale builders.
+"""
+
+from .arena import (ArenaPeer, MidasArena, MirrorArena, OverlayArena,
+                    run_wavefront, wavefront_execute)
+from .arena_build import from_overlay, midas_arena
 from .baton import BatonOverlay, BatonPeer
 from .can import Adjacency, CanOverlay, CanPeer
 from .chord import ChordOverlay, ChordPeer
@@ -11,9 +20,11 @@ from .superpeer import SuperPeer, SuperPeerNetwork, SuperPeerNode
 from .zcurve import ZCurve
 
 __all__ = [
-    "Adjacency", "BatonOverlay", "BatonPeer", "CanOverlay", "CanPeer",
-    "ChordOverlay", "ChordPeer", "MidasOverlay", "MidasPeer", "Node",
-    "PromotedPeer", "ReplicaDirectory", "SplitTree", "SuperPeer",
-    "SuperPeerNetwork", "SuperPeerNode", "ZCurve", "alive_patterns",
-    "matches_any_pattern",
+    "Adjacency", "ArenaPeer", "BatonOverlay", "BatonPeer", "CanOverlay",
+    "CanPeer", "ChordOverlay", "ChordPeer", "MidasArena", "MidasOverlay",
+    "MidasPeer", "MirrorArena", "Node", "OverlayArena", "PromotedPeer",
+    "ReplicaDirectory", "SplitTree", "SuperPeer", "SuperPeerNetwork",
+    "SuperPeerNode", "ZCurve", "alive_patterns", "from_overlay",
+    "matches_any_pattern", "midas_arena", "run_wavefront",
+    "wavefront_execute",
 ]

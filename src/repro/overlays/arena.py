@@ -1,0 +1,759 @@
+"""Arena overlay substrate: structure-of-arrays peers at 100k–1M scale.
+
+Per-peer Python objects (a ``MidasPeer`` with a dict-backed link table, a
+heap-allocated ``LocalStore``, a ``Node`` chain up the split tree) cap the
+simulable network at a few hundred peers — the substrate, not the
+algorithm, is the bottleneck the paper's fig7 stops at 200 peers for.
+This module rebuilds the substrate as an *arena*: every per-peer quantity
+lives in one flat typed NumPy array —
+
+* tuple storage: one ``(T, d)`` row block plus a CSR offset table
+  (``store_ptr``), each peer's store a zero-copy
+  :meth:`~repro.common.store.LocalStore.view_of` slice;
+* link adjacency: CSR ``link_ptr``/``link_target`` plus per-family region
+  payload arrays (:class:`MirrorArena`), or — for the scalable MIDAS
+  builder (:class:`MidasArena`) — no link arrays at all: a balanced
+  dyadic k-d tree is fully described by ``(n, depth)``, so link regions
+  and targets are *derived* from a peer's path bits on demand;
+* liveness and replica slots: a ``bool`` array and a CSR candidate table.
+
+The arrays are the overlay; peers materialize lazily as flyweight
+:class:`ArenaPeer` views satisfying the existing
+:class:`~repro.core.framework.PeerLike` protocol, so ``core/framework``,
+``net/eventsim``, ``net/faults`` and every handler run **unchanged** and
+bit-identical on an arena (the hypothesis suite pins answers and
+``QueryStats`` against the object overlays).
+
+On top of the substrate sits the *batched wavefront* executor
+(:func:`wavefront_execute`): the parallel extreme (``r = 0``) of
+Algorithm 3 is evaluated level-synchronously, and all local reductions of
+the peers touched in one expansion wave run as a single grouped kernel
+call (:func:`prime_topk_wave` / :func:`prime_skyline_wave`) that *primes*
+each store's computation cache — the handlers then hit the primed entries
+instead of reducing per peer.  See docs/SCALE.md for the proof sketch of
+why the wavefront's answers and ``QueryStats`` match the depth-first
+scalar engine exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, Sequence, overload
+
+import numpy as np
+
+from ..common.geometry import Frustum, Rect, as_point, contains_batch
+from ..common.hashing import mix
+from ..common.scoring import ScoringFunction
+from ..common.store import LocalStore, Replica
+from ..core.framework import Link, PeerLike, execute
+from ..core.handler import QueryHandler
+from ..core.regions import (ArcRegion, FrustumRegion, RectRegion, Region,
+                            domain_region)
+from ..net.context import QueryContext, QueryResult
+from ..obs.trace import TraceSink
+
+__all__ = ["ArenaPeer", "MidasArena", "MirrorArena", "OverlayArena",
+           "prime_skyline_wave", "prime_topk_wave", "wavefront_execute"]
+
+#: Candidate rows per vectorized dominance pass in the oversized-group
+#: fallback of the grouped skyline kernel (mirrors ``skyline._BLOCK``).
+_BLOCK = 256
+
+#: Groups whose distinct-row count exceeds this run through the blocked
+#: per-group kernel instead of the padded all-pairs tensor (whose memory
+#: grows with the square of the padded width).
+_PAD_CAP = 512
+
+#: Element budget for one padded comparison tensor; buckets are chunked
+#: so ``chunk * cap**2 * dims`` stays below it.
+_PAD_BUDGET = 32_000_000
+
+
+class ArenaPeer:
+    """A flyweight :class:`~repro.core.framework.PeerLike` view of one row.
+
+    Views are created lazily and cached per arena, so object identity is
+    stable (``arena.peer(i) is arena.peer(i)``) while untouched peers
+    cost nothing.  The store materializes on first access as a read-only
+    zero-copy slice of the substrate; the link table decodes on first
+    access and is cached (arenas are immutable snapshots — no churn, no
+    epochs).
+    """
+
+    __slots__ = ("arena", "index", "peer_id", "_store", "_links",
+                 "_replicas")
+
+    def __init__(self, arena: "OverlayArena", index: int) -> None:
+        self.arena = arena
+        self.index = index
+        self.peer_id: int = int(arena.peer_ids[index])
+        self._store: LocalStore | None = None
+        self._links: list[Link] | None = None
+        self._replicas: dict[int, Replica] | None = None
+
+    @property
+    def store(self) -> LocalStore:
+        if self._store is None:
+            self._store = LocalStore.view_of(
+                self.arena.store_rows(self.index))
+        return self._store
+
+    def links(self) -> list[Link]:
+        if self._links is None:
+            self._links = self.arena.decode_links(self.index)
+        return self._links
+
+    @property
+    def alive(self) -> bool:
+        """Liveness flag (`FaultPlan.from_overlay` freezes these)."""
+        return bool(self.arena.alive[self.index])
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        self.arena.alive[self.index] = value
+
+    @property
+    def replicas(self) -> dict[int, Replica]:
+        """Replicas hosted here (lazily allocated; see ReplicaDirectory)."""
+        if self._replicas is None:
+            self._replicas = {}
+        return self._replicas
+
+    def __repr__(self) -> str:
+        return (f"ArenaPeer(id={self.peer_id}, "
+                f"arena={type(self.arena).__name__})")
+
+
+class _ArenaPeers(Sequence[ArenaPeer]):
+    """Lazy ``overlay.peers()`` sequence: views materialize on indexing."""
+
+    __slots__ = ("_arena",)
+
+    def __init__(self, arena: "OverlayArena") -> None:
+        self._arena = arena
+
+    def __len__(self) -> int:
+        return len(self._arena)
+
+    @overload
+    def __getitem__(self, index: int) -> ArenaPeer: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> Sequence[ArenaPeer]: ...
+
+    def __getitem__(self, index: int | slice
+                    ) -> ArenaPeer | Sequence[ArenaPeer]:
+        if isinstance(index, slice):
+            return [self._arena.peer(i)
+                    for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._arena.peer(index)
+
+    def __iter__(self) -> Iterator[ArenaPeer]:
+        return (self._arena.peer(i) for i in range(len(self)))
+
+
+class OverlayArena:
+    """Shared substrate state: stores, liveness, and peer views.
+
+    Subclasses contribute the link encoding (:meth:`decode_links`) and
+    the replica-slot policy; everything protocol-facing (``peers()``,
+    ``domain()``, ``random_peer()``) lives here.
+    """
+
+    def __init__(self, *, dims: int, peer_ids: np.ndarray,
+                 store_ptr: np.ndarray, tuples: np.ndarray,
+                 alive: np.ndarray | None = None) -> None:
+        n = len(peer_ids)
+        if store_ptr.shape != (n + 1,):
+            raise ValueError("store_ptr must have one offset per peer + 1")
+        self.dims = dims
+        self.peer_ids = np.ascontiguousarray(peer_ids, dtype=np.int64)
+        self.store_ptr = np.ascontiguousarray(store_ptr, dtype=np.int64)
+        self.tuples = np.ascontiguousarray(tuples, dtype=float)
+        self.tuples.flags.writeable = False
+        self.alive = (np.ones(n, dtype=bool) if alive is None
+                      else np.ascontiguousarray(alive, dtype=bool))
+        #: Arenas are immutable snapshots — the structural epoch never
+        #: moves, so ReplicaDirectory.refresh() is placement-stable.
+        self.epoch = 0
+        self._views: dict[int, ArenaPeer] = {}
+
+    # -- protocol surface --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.peer_ids)
+
+    def peers(self) -> Sequence[ArenaPeer]:
+        return _ArenaPeers(self)
+
+    def peer(self, index: int) -> ArenaPeer:
+        view = self._views.get(index)
+        if view is None:
+            view = self._views[index] = ArenaPeer(self, index)
+        return view
+
+    def random_peer(self, rng: np.random.Generator) -> ArenaPeer:
+        return self.peer(int(rng.integers(len(self))))
+
+    def domain(self) -> RectRegion:
+        return domain_region(self.dims)
+
+    def total_tuples(self) -> int:
+        return int(self.store_ptr[-1])
+
+    def store_rows(self, index: int) -> np.ndarray:
+        """The substrate row range holding peer ``index``'s tuples."""
+        return self.tuples[self.store_ptr[index]:self.store_ptr[index + 1]]
+
+    def decode_links(self, index: int) -> list[Link]:
+        raise NotImplementedError
+
+    def replica_targets(self, peer: ArenaPeer, count: int
+                        ) -> list[ArenaPeer]:
+        raise NotImplementedError
+
+    def nbytes(self) -> int:
+        """Substrate memory footprint (the flat arrays, not the views)."""
+        return sum(int(a.nbytes) for a in self._arrays())
+
+    def _arrays(self) -> list[np.ndarray]:
+        return [self.peer_ids, self.store_ptr, self.tuples, self.alive]
+
+
+class MirrorArena(OverlayArena):
+    """An exact structure-of-arrays snapshot of an object overlay.
+
+    Built by :func:`repro.overlays.arena_build.from_overlay`: same peer
+    ids, same link order, bit-equal link regions and store rows — so any
+    engine run over the mirror reproduces the object overlay's answers
+    and ``QueryStats`` exactly.  Link regions are encoded per overlay
+    family (``kind``): rectangles (MIDAS), ring-arc pieces (Chord), or
+    frustums (CAN).
+    """
+
+    def __init__(self, *, kind: str, dims: int, peer_ids: np.ndarray,
+                 store_ptr: np.ndarray, tuples: np.ndarray,
+                 link_ptr: np.ndarray, link_target: np.ndarray,
+                 link_payload: dict[str, np.ndarray],
+                 replica_ptr: np.ndarray, replica_idx: np.ndarray,
+                 alive: np.ndarray | None = None) -> None:
+        super().__init__(dims=dims, peer_ids=peer_ids, store_ptr=store_ptr,
+                         tuples=tuples, alive=alive)
+        if kind not in ("rect", "arc", "frustum"):
+            raise ValueError(f"unknown region family {kind!r}")
+        self.kind = kind
+        self.link_ptr = np.ascontiguousarray(link_ptr, dtype=np.int64)
+        self.link_target = np.ascontiguousarray(link_target, dtype=np.int64)
+        self.link_payload = link_payload
+        self.replica_ptr = np.ascontiguousarray(replica_ptr, dtype=np.int64)
+        self.replica_idx = np.ascontiguousarray(replica_idx, dtype=np.int64)
+        #: Exact region partitions (rect/arc) support strict single-visit
+        #: mode; conservative frustum covers require dedup, like CAN.
+        self.strict_default = kind != "frustum"
+
+    def max_links(self) -> int:
+        return int(np.diff(self.link_ptr).max(initial=0))
+
+    def decode_links(self, index: int) -> list[Link]:
+        lo, hi = int(self.link_ptr[index]), int(self.link_ptr[index + 1])
+        return [Link(peer=self.peer(int(self.link_target[e])),
+                     region=self._decode_region(e))
+                for e in range(lo, hi)]
+
+    def _decode_region(self, e: int) -> Region:
+        pay = self.link_payload
+        if self.kind == "rect":
+            return RectRegion(Rect(as_point(pay["lo"][e]),
+                                   as_point(pay["hi"][e])))
+        if self.kind == "arc":
+            pieces = pay["pieces"][e]
+            return ArcRegion(tuple(
+                (float(lo), float(hi))
+                for lo, hi in pieces if not np.isnan(lo)))
+        base = Rect(as_point(pay["base_lo"][e]), as_point(pay["base_hi"][e]))
+        top = Rect(as_point(pay["top_lo"][e]), as_point(pay["top_hi"][e]))
+        return FrustumRegion(Frustum(int(pay["axis"][e]), base, top))
+
+    def replica_targets(self, peer: ArenaPeer, count: int
+                        ) -> list[ArenaPeer]:
+        """The snapshotted structural buddies, nearest-first.
+
+        The mirror freezes the first ``replica_depth`` candidates of the
+        source overlay's ``replica_targets``; asking for more than were
+        snapshotted is a build-parameter error, not a silent truncation.
+        """
+        lo, hi = (int(self.replica_ptr[peer.index]),
+                  int(self.replica_ptr[peer.index + 1]))
+        if count > hi - lo and hi - lo < len(self) - 1:
+            raise ValueError(
+                f"mirror snapshotted {hi - lo} replica candidates; rebuild "
+                f"with from_overlay(..., replica_depth>={count})")
+        return [self.peer(int(self.replica_idx[e]))
+                for e in range(lo, min(hi, lo + count))]
+
+
+class MidasArena(OverlayArena):
+    """A balanced MIDAS overlay at scale, with *implicit* dyadic links.
+
+    The network is a balanced midpoint-split k-d tree over ``[0, 1]^d``:
+    with ``n = 2**D + m`` peers, the first ``m`` level-``D`` nodes (in
+    path order) split once more, so every leaf sits at depth ``D`` or
+    ``D + 1``.  Peer ``i``'s path bits, zone rectangle, link regions
+    (sibling-subtree rectangles) and link targets (seeded ``mix`` descent
+    — the MIDAS ``"random"`` link policy) are all *derived* from ``i``
+    alone, so the arena stores no per-link region arrays at any scale:
+    the substrate is ``O(n + T)`` integers and tuple rows.
+
+    ``link_target`` may optionally be precomputed vectorized (one
+    :func:`~repro.common.hashing.mix_array` sweep per descent level, see
+    ``arena_build.midas_arena``) for workloads that touch every peer —
+    full-traversal Lemma validation — where the per-peer scalar descent
+    would dominate.
+    """
+
+    def __init__(self, *, dims: int, store_ptr: np.ndarray,
+                 tuples: np.ndarray, base_depth: int, extra: int,
+                 seed: int = 0, link_ptr: np.ndarray | None = None,
+                 link_target: np.ndarray | None = None,
+                 alive: np.ndarray | None = None) -> None:
+        n = (1 << base_depth) + extra
+        if not 0 <= extra < (1 << base_depth):
+            raise ValueError(f"extra splits {extra} out of range for "
+                             f"depth {base_depth}")
+        super().__init__(dims=dims, peer_ids=np.arange(n, dtype=np.int64),
+                         store_ptr=store_ptr, tuples=tuples, alive=alive)
+        self.base_depth = base_depth
+        self.extra = extra
+        self.seed = seed
+        self.link_ptr = link_ptr
+        self.link_target = link_target
+        self.strict_default = True
+
+    # -- dyadic structure --------------------------------------------------
+
+    def depth_of(self, index: int) -> int:
+        return self.base_depth + 1 if index < 2 * self.extra \
+            else self.base_depth
+
+    def path_of(self, index: int) -> int:
+        """The peer's root-to-leaf bit path, packed MSB-first."""
+        return index if index < 2 * self.extra else index - self.extra
+
+    def _leaf_index(self, value: int, length: int) -> int:
+        """Inverse of :meth:`path_of`: leaf path -> peer index."""
+        return value if length > self.base_depth else value + self.extra
+
+    def _is_leaf(self, value: int, length: int) -> bool:
+        if length > self.base_depth:
+            return True
+        return length == self.base_depth and value >= self.extra
+
+    def max_links(self) -> int:
+        return self.base_depth + (1 if self.extra else 0)
+
+    def zone(self, index: int) -> Rect:
+        """The peer's zone rectangle, decoded from its path bits."""
+        lo, hi, _ = self._walk(index, None)
+        return Rect(tuple(lo), tuple(hi))
+
+    def _walk(self, index: int, sink: list[tuple[int, Rect]] | None
+              ) -> tuple[list[float], list[float], int]:
+        """Descend ``index``'s path; optionally record sibling cells."""
+        path, depth = self.path_of(index), self.depth_of(index)
+        lo = [0.0] * self.dims
+        hi = [1.0] * self.dims
+        for level in range(depth):
+            bit = (path >> (depth - 1 - level)) & 1
+            j = level % self.dims
+            mid = (lo[j] + hi[j]) / 2.0
+            if sink is not None:
+                sib_lo, sib_hi = lo.copy(), hi.copy()
+                if bit:
+                    sib_hi[j] = mid
+                else:
+                    sib_lo[j] = mid
+                sink.append((bit, Rect(tuple(sib_lo), tuple(sib_hi))))
+            if bit:
+                lo[j] = mid
+            else:
+                hi[j] = mid
+        return lo, hi, depth
+
+    def locate_index(self, point: Sequence[float]) -> int:
+        """The peer index owning ``point`` (half-open zones)."""
+        value, length = 0, 0
+        lo = [0.0] * self.dims
+        hi = [1.0] * self.dims
+        while not self._is_leaf(value, length):
+            j = length % self.dims
+            mid = (lo[j] + hi[j]) / 2.0
+            if point[j] >= mid:
+                value = (value << 1) | 1
+                lo[j] = mid
+            else:
+                value = value << 1
+                hi[j] = mid
+            length += 1
+        return self._leaf_index(value, length)
+
+    # -- links -------------------------------------------------------------
+
+    def decode_links(self, index: int) -> list[Link]:
+        cells: list[tuple[int, Rect]] = []
+        self._walk(index, cells)
+        path, depth = self.path_of(index), self.depth_of(index)
+        links: list[Link] = []
+        for level, (bit, sibling) in enumerate(cells):
+            if self.link_target is not None and self.link_ptr is not None:
+                target = int(self.link_target[self.link_ptr[index] + level])
+            else:
+                prefix = (path >> (depth - 1 - level)) ^ 1
+                target = self._descend(index, prefix, level + 1)
+            links.append(Link(peer=self.peer(target),
+                              region=RectRegion(sibling)))
+        return links
+
+    def _descend(self, owner: int, value: int, length: int) -> int:
+        """The MIDAS random-descent representative of a sibling subtree.
+
+        Reproduces ``MidasOverlay._random_descent``: at every internal
+        node the branch bit is ``mix(seed, owner, path_key) & 1``, with
+        ``path_key`` the 1-prefixed packed path.
+        """
+        while not self._is_leaf(value, length):
+            bit = mix(self.seed, owner, (1 << length) | value) & 1
+            value = (value << 1) | bit
+            length += 1
+        return self._leaf_index(value, length)
+
+    # -- replica slots -----------------------------------------------------
+
+    def _subtree_leaf_range(self, value: int, length: int
+                           ) -> tuple[int, int]:
+        """Leaf indexes under path prefix ``value`` — a contiguous range."""
+        if length > self.base_depth:
+            return self._leaf_index(value, length), \
+                self._leaf_index(value, length) + 1
+        shift = self.base_depth - length
+        first, last = value << shift, (value + 1) << shift
+
+        def leaf_start(v: int) -> int:
+            return 2 * v if v < self.extra else v + self.extra
+
+        return leaf_start(first), leaf_start(last)
+
+    def replica_targets(self, peer: ArenaPeer, count: int
+                        ) -> list[ArenaPeer]:
+        """Structural buddies: sibling-subtree peers, nearest tier first.
+
+        Mirrors ``MidasOverlay.replica_targets``: candidate pools are the
+        sibling subtrees deepest (nearest) first, interleaved one peer
+        per pool and tier, so the first copy lands on the merge partner
+        and later copies land in structurally distinct branches.
+        """
+        if count <= 0:
+            return []
+        path, depth = self.path_of(peer.index), self.depth_of(peer.index)
+        pools = []
+        for level in range(depth - 1, -1, -1):
+            prefix = (path >> (depth - 1 - level)) ^ 1
+            pools.append(range(*self._subtree_leaf_range(prefix, level + 1)))
+        chosen: list[ArenaPeer] = []
+        seen = {peer.index}
+        for tier in range(max((len(p) for p in pools), default=0)):
+            for pool in pools:
+                if tier >= len(pool) or pool[tier] in seen:
+                    continue
+                seen.add(pool[tier])
+                chosen.append(self.peer(pool[tier]))
+                if len(chosen) == count:
+                    return chosen
+        return chosen
+
+
+# ---------------------------------------------------------------------------
+# Grouped wave kernels (cache priming)
+# ---------------------------------------------------------------------------
+
+def prime_topk_wave(fn: ScoringFunction, stores: Sequence[LocalStore]
+                    ) -> None:
+    """Score every store touched by a wave in one grouped kernel call.
+
+    Concatenates the stores' row blocks, evaluates ``fn.score_batch``
+    once, recovers each store's stable descending order with a single
+    ``lexsort`` (primary key: store, secondary: score descending, ties by
+    row position — exactly ``argsort(-scores, kind="stable")`` per
+    group), and primes every store's ``("score-index", fn)`` cache entry
+    with its slice.  The subsequent per-peer ``top_scoring`` /
+    ``scoring_at_least`` calls hit the primed entries, so the wave costs
+    one kernel invocation instead of one per peer.
+    """
+    live = [s for s in stores if len(s) and s.cache_enabled]
+    if len(live) < 2:
+        return
+    sizes = np.fromiter((len(s) for s in live), dtype=np.int64,
+                        count=len(live))
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    concat = np.concatenate([s.array for s in live], axis=0)
+    scores = fn.score_batch(concat)
+    group = np.repeat(np.arange(len(live)), sizes)
+    order = np.lexsort((-scores, group))
+    for g, store in enumerate(live):
+        lo, hi = int(bounds[g]), int(bounds[g + 1])
+        local_order = order[lo:hi] - lo
+        local_scores = scores[lo:hi]
+        store.prime(("score-index", fn),
+                    (local_scores, local_order, local_scores[local_order]))
+
+
+def prime_skyline_wave(constraint: Rect | None,
+                       stores: Sequence[LocalStore]) -> None:
+    """Compute every store's local skyline in one grouped kernel call.
+
+    Reproduces ``skyline_of_array`` per store — same dominance-order
+    sort, duplicate collapse/re-expansion, and survivor set — but over
+    the concatenation of all stores of the wave: one grouped lexsort,
+    one adjacent-dedup pass, and padded all-pairs dominance tensors per
+    group-size bucket (oversized groups fall back to the blocked kernel).
+    Each store's ``("local-skyline", constraint)`` entry is primed with
+    its survivor tuple, bit-identical to the scalar computation.
+    """
+    live = [s for s in stores if s.cache_enabled]
+    if len(live) < 2:
+        return
+    sizes = np.fromiter((len(s) for s in live), dtype=np.int64,
+                        count=len(live))
+    total = int(sizes.sum())
+    dims = live[0].dims
+    if total:
+        concat = np.concatenate([s.array for s in live], axis=0)
+        group = np.repeat(np.arange(len(live)), sizes)
+    else:
+        concat = np.empty((0, dims))
+        group = np.empty(0, dtype=np.int64)
+    if constraint is not None and total:
+        inside = contains_batch(concat, np.asarray(constraint.lo),
+                                np.asarray(constraint.hi))
+        concat, group = concat[inside], group[inside]
+    key = ("local-skyline", constraint)
+    if not len(concat):
+        for store in live:
+            store.prime(key, ())
+        return
+    # Grouped dominance order: per group, sort by coordinate sum then
+    # lexicographically (``skyline._dominance_order``).
+    sums = concat.sum(axis=1)
+    axis_keys = tuple(concat[:, dim] for dim in range(dims - 1, -1, -1))
+    order = np.lexsort(axis_keys + (sums, group))
+    data, grp = concat[order], group[order]
+    # Collapse exact duplicates (adjacent within a group after sorting).
+    distinct = np.empty(len(data), dtype=bool)
+    distinct[0] = True
+    distinct[1:] = (grp[1:] != grp[:-1]) \
+        | (data[1:] != data[:-1]).any(axis=1)
+    starts = np.flatnonzero(distinct)
+    counts = np.diff(np.append(starts, len(data)))
+    uniq, ug = data[starts], grp[starts]
+    keep = _grouped_skyline_keep(uniq, ug, len(live))
+    out_counts = np.where(keep, counts, 0)
+    rows = np.repeat(uniq, out_counts, axis=0)
+    row_group = np.repeat(ug, out_counts)
+    cuts = np.searchsorted(row_group, np.arange(len(live) + 1))
+    for g, store in enumerate(live):
+        seg = rows[cuts[g]:cuts[g + 1]]
+        store.prime(key, tuple(as_point(row) for row in seg))
+
+
+def _grouped_skyline_keep(uniq: np.ndarray, ug: np.ndarray,
+                          group_count: int) -> np.ndarray:
+    """Survivor mask over distinct dominance-ordered rows, per group.
+
+    A row survives iff no other distinct row of the same group is
+    componentwise ``<=`` it (which, among distinct rows, is dominance).
+    Groups are bucketed by size: small groups share one padded
+    ``(groups, width, width, d)`` comparison tensor per bucket (padding
+    rows are ``+inf``, which can never dominate), oversized groups run
+    the same blocked kernel ``skyline_of_array`` uses.
+    """
+    keep = np.zeros(len(uniq), dtype=bool)
+    sizes = np.bincount(ug, minlength=group_count)
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    keep[offsets[:-1][sizes == 1]] = True
+    prev = 1
+    for cap in (4, 16, 64, _PAD_CAP):
+        sel = np.flatnonzero((sizes > prev) & (sizes <= cap))
+        prev = cap
+        if not len(sel):
+            continue
+        chunk = max(1, _PAD_BUDGET // (cap * cap * uniq.shape[1]))
+        for at in range(0, len(sel), chunk):
+            part = sel[at:at + chunk]
+            part_sizes = sizes[part]
+            pad = np.full((len(part), cap, uniq.shape[1]), np.inf)
+            row = np.repeat(np.arange(len(part)), part_sizes)
+            col = _concat_aranges(part_sizes)
+            src = col + np.repeat(offsets[part], part_sizes)
+            pad[row, col] = uniq[src]
+            le = (pad[:, :, None, :] <= pad[:, None, :, :]).all(axis=-1)
+            alive = le.sum(axis=1) <= 1
+            keep[src] = alive[row, col]
+    for g in np.flatnonzero(sizes > _PAD_CAP):
+        # A handful of oversized groups, each one blocked kernel call —
+        # a per-*group* loop over the wave, never a per-peer scan.
+        lo, hi = int(offsets[g]), int(offsets[g + 1])
+        keep[lo:hi] = _blocked_skyline_mask(uniq[lo:hi])
+    return keep
+
+
+def _concat_aranges(sizes: np.ndarray) -> np.ndarray:
+    """``[0..s0), [0..s1), ...`` concatenated, vectorized."""
+    total = int(sizes.sum())
+    out = np.arange(total, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    out -= np.repeat(starts, sizes)
+    return out
+
+
+def _blocked_skyline_mask(uniq: np.ndarray) -> np.ndarray:
+    """Survivor mask over distinct dominance-ordered rows (one group).
+
+    The block-filtered loop of ``skyline_of_array``, returning the mask
+    instead of the rows.
+    """
+    keep = np.zeros(len(uniq), dtype=bool)
+    live = np.arange(len(uniq))
+    while len(live):
+        index, tail = live[:_BLOCK], live[_BLOCK:]
+        block = uniq[index]
+        if len(block) > 1:
+            le = (block[:, None, :] <= block[None, :, :]).all(axis=2)
+            alive = le.sum(axis=0) <= 1
+            block, index = block[alive], index[alive]
+        keep[index] = True
+        if len(tail) and len(block):
+            rest = uniq[tail]
+            dominated = (block[None, :, :] <= rest[:, None, :]) \
+                .all(axis=2).any(axis=1)
+            live = tail[~dominated]
+        else:
+            live = tail
+    return keep
+
+
+def _prime_wave(handler: QueryHandler, stores: list[LocalStore]) -> None:
+    """Dispatch the wave's stores to the handler's grouped kernel.
+
+    Handlers without a batched kernel (diversification) fall through to
+    the scalar per-peer path — still bit-identical, just unbatched.
+    """
+    from ..queries.skyline import SkylineHandler
+    from ..queries.topk import TopKHandler
+
+    if isinstance(handler, TopKHandler):
+        prime_topk_wave(handler.fn, stores)
+    elif isinstance(handler, SkylineHandler):
+        prime_skyline_wave(handler.constraint, stores)
+
+
+# ---------------------------------------------------------------------------
+# The batched wavefront executor
+# ---------------------------------------------------------------------------
+
+def wavefront_execute(
+    initiator: PeerLike,
+    handler: QueryHandler,
+    r: int,
+    *,
+    restriction: Region,
+    ctx: QueryContext,
+    initial_state: Any | None = None,
+    base_latency: int = 0,
+    answers_to: Hashable | None = None,
+    parent_span: int | None = None,
+) -> QueryResult:
+    """Algorithm 1 (``r = 0``) evaluated level-synchronously in waves.
+
+    A drop-in replacement for :func:`repro.core.framework.execute` (same
+    signature; pass it as the ``executor`` of the seeded drivers).  In
+    parallel mode the depth-first engine fixes every frame's forwarding
+    state at creation, never folds child responses into it, and composes
+    latency by ``max(1 + child)`` — so the traversal *is* a breadth-first
+    expansion in disguise, and evaluating it wave by wave reproduces the
+    exact answers, the exact processed set, and every ``QueryStats``
+    counter (see docs/SCALE.md for the argument).  The payoff: all local
+    reductions of one wave execute as a single grouped kernel call via
+    cache priming.
+
+    Falls back to the scalar engine whenever the wave evaluation cannot
+    apply verbatim: sequential modes (``r > 0``), non-strict contexts
+    (conservative region covers may process a peer under either of two
+    racing frames — traversal order becomes observable), or an attached
+    trace sink (spans are depth-first-shaped).
+    """
+    if r < 0:
+        raise ValueError(f"ripple parameter must be non-negative, got {r}")
+    if r != 0 or not ctx.strict or ctx.sink.enabled:
+        return execute(initiator, handler, r, restriction=restriction,
+                       ctx=ctx, initial_state=initial_state,
+                       base_latency=base_latency, answers_to=answers_to,
+                       parent_span=parent_span)
+    state = handler.initial_state() if initial_state is None \
+        else initial_state
+    initiator_id = initiator.peer_id if answers_to is None else answers_to
+    wave: list[tuple[PeerLike, Any, Region]] = [(initiator, state,
+                                                 restriction)]
+    latency = 0
+    while wave:
+        flags = [ctx.begin_processing(peer.peer_id)
+                 for peer, _, _ in wave]
+        _prime_wave(handler, [entry[0].store
+                              for entry, processes in zip(wave, flags)
+                              if processes])
+        next_wave: list[tuple[PeerLike, Any, Region]] = []
+        for (peer, received, area), processes in zip(wave, flags):
+            local = handler.compute_local_state(peer.store, received) \
+                if processes else handler.neutral_local_state()
+            gstate = handler.compute_global_state(received, local)
+            for link in peer.links():
+                sub = link.region.intersect(area)
+                if sub is None:
+                    continue
+                if not handler.is_link_relevant(sub, gstate):
+                    continue
+                ctx.on_forward()
+                next_wave.append((link.peer, gstate, sub))
+            if processes:
+                answer = handler.compute_local_answer(peer.store, local)
+                if peer.peer_id == initiator_id:
+                    ctx.collected_answers.append(answer)
+                else:
+                    ctx.on_answer(answer, handler.answer_size(answer))
+        if next_wave:
+            latency += 1
+        wave = next_wave
+    answer = handler.finalize(ctx.collected_answers)
+    return QueryResult(answer=answer, stats=ctx.stats(base_latency + latency))
+
+
+def run_wavefront(
+    initiator: PeerLike,
+    handler: QueryHandler,
+    *,
+    restriction: Region,
+    strict: bool = True,
+    initial_state: Any | None = None,
+    sink: TraceSink | None = None,
+) -> QueryResult:
+    """Convenience wrapper: :func:`wavefront_execute` over a fresh context.
+
+    The batched counterpart of :func:`repro.core.framework.run_fast`.
+    """
+    ctx = QueryContext(strict=strict)
+    if sink is not None:
+        ctx.sink = sink
+    return wavefront_execute(initiator, handler, 0, restriction=restriction,
+                             ctx=ctx, initial_state=initial_state)

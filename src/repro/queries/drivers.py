@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from ..common.geometry import Point
 from ..core.framework import PeerLike, execute
@@ -33,7 +33,13 @@ from ..net.context import QueryContext, QueryResult
 from ..net.routing import greedy_route
 from ..obs.trace import TraceSink, state_size
 
-__all__ = ["run_seeded"]
+__all__ = ["ExecutorFn", "run_seeded"]
+
+#: The ripple-phase engine contract: anything signature-compatible with
+#: :func:`repro.core.framework.execute`.  The batched wavefront engine
+#: (:func:`repro.overlays.arena.wavefront_execute`) is the in-repo
+#: alternative implementation.
+ExecutorFn = Callable[..., Any]
 
 #: Upper bound on best-first probe visits; a safety valve, never the
 #: stopping rule in practice (the handler's ``seed_satisfied`` is).
@@ -54,8 +60,13 @@ def run_seeded(
     strict: bool = True,
     initial_state=None,
     sink: TraceSink | None = None,
+    executor: ExecutorFn | None = None,
 ) -> QueryResult:
     """Route to the peer owning ``seed_point``, then ripple from there.
+
+    ``executor`` swaps the ripple-phase engine (default
+    :func:`~repro.core.framework.execute`); routing and probing are
+    always scalar — they touch O(log n) peers.
 
     Every peer on the route contributes its local state to the query's
     global state and ships its local candidates to the initiator, exactly
@@ -90,11 +101,12 @@ def run_seeded(
     state, probe_hops = _best_first_probe(
         ctx, handler, seed_peer, state, initiator.peer_id,
         base_t=base_latency, parent_span=query_span)
-    result = execute(seed_peer, handler, r, restriction=restriction, ctx=ctx,
-                     initial_state=state,
-                     base_latency=base_latency + probe_hops,
-                     answers_to=initiator.peer_id,
-                     parent_span=query_span or None)
+    engine = executor if executor is not None else execute
+    result = engine(seed_peer, handler, r, restriction=restriction, ctx=ctx,
+                    initial_state=state,
+                    base_latency=base_latency + probe_hops,
+                    answers_to=initiator.peer_id,
+                    parent_span=query_span or None)
     if ctx.sink.enabled:
         ctx.sink.end_span(query_span, result.stats.latency)
     return result

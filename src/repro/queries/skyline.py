@@ -250,6 +250,7 @@ def distributed_skyline(
     strict: bool = True,
     constraint: Rect | None = None,
     sink=None,
+    executor=None,
 ):
     """End-to-end distributed skyline from ``initiator``.
 
@@ -267,9 +268,11 @@ def distributed_skyline(
     handler = SkylineHandler(dims, constraint=constraint)
     if not seeded:
         return run_ripple(initiator, handler, r,
-                          restriction=restriction, strict=strict, sink=sink)
+                          restriction=restriction, strict=strict, sink=sink,
+                          executor=executor)
     return run_seeded(initiator, handler, r, restriction=restriction,
-                      seed_point=handler.origin, strict=strict, sink=sink)
+                      seed_point=handler.origin, strict=strict, sink=sink,
+                      executor=executor)
 
 
 class SkylineHandler(QueryHandler):

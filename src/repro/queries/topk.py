@@ -174,6 +174,7 @@ def distributed_topk(
     seeded: bool = True,
     strict: bool = True,
     sink=None,
+    executor=None,
 ):
     """End-to-end distributed top-k from ``initiator``.
 
@@ -190,12 +191,14 @@ def distributed_topk(
     handler = TopKHandler(fn, k)
     if not seeded:
         return run_ripple(initiator, handler, r,
-                          restriction=restriction, strict=strict, sink=sink)
+                          restriction=restriction, strict=strict, sink=sink,
+                          executor=executor)
     domain = restriction.cover()[0]
     seed_point = tuple(min(v, h - 1e-12)
                        for v, h in zip(fn.peak(domain), domain.hi))
     return run_seeded(initiator, handler, r, restriction=restriction,
-                      seed_point=seed_point, strict=strict, sink=sink)
+                      seed_point=seed_point, strict=strict, sink=sink,
+                      executor=executor)
 
 
 def topk_reference(array, fn: ScoringFunction, k: int) -> list[tuple[float, Point]]:

@@ -461,6 +461,61 @@ class TestRPL011:
             source, virtual_path="src/repro/queries/mod.py") == []
 
 
+# -- RPL012: arena modules stay vectorized ---------------------------------
+
+
+ARENA_PATH = "src/repro/overlays/arena.py"
+
+
+class TestRPL012:
+    def test_bad_object_dtype(self):
+        source = ("import numpy as np\n"
+                  "views = np.empty(9, dtype=object)\n")
+        findings = ripplelint.lint_source(source, virtual_path=ARENA_PATH)
+        assert rules_of(findings) == ["RPL012"]
+        assert findings[0].line == 2
+
+    def test_bad_object_dtype_string_and_astype(self):
+        source = ("import numpy as np\n"
+                  "a = np.zeros(4, dtype=\"O\")\n"
+                  "b = a.astype(object)\n")
+        findings = ripplelint.lint_source(source, virtual_path=ARENA_PATH)
+        assert rules_of(findings) == ["RPL012", "RPL012"]
+
+    def test_bad_loop_over_peers_call(self):
+        source = ("def snapshot(overlay):\n"
+                  "    for peer in overlay.peers():\n"
+                  "        peer.links()\n")
+        findings = ripplelint.lint_source(source, virtual_path=ARENA_PATH)
+        assert rules_of(findings) == ["RPL012"]
+        assert findings[0].line == 2
+
+    def test_bad_comprehension_over_peer_range(self):
+        source = "zones = [walk(i) for i in range(n_peers)]\n"
+        findings = ripplelint.lint_source(source, virtual_path=ARENA_PATH)
+        assert rules_of(findings) == ["RPL012"]
+
+    def test_good_vectorized_code(self):
+        source = ("import numpy as np\n"
+                  "order = np.lexsort((-scores, group))\n"
+                  "sizes = np.diff(store_ptr)\n"
+                  "for cap in (4, 16, 64):\n"
+                  "    pass\n")
+        assert ripplelint.lint_source(source, virtual_path=ARENA_PATH) == []
+
+    def test_outside_arena_modules_exempt(self):
+        source = "links = [peer for peer in overlay.peers()]\n"
+        assert ripplelint.lint_source(
+            source, virtual_path="src/repro/overlays/midas.py") == []
+
+    def test_suppressed_snapshot_walk(self):
+        source = ("def snapshot(overlay):\n"
+                  "    for peer in overlay.peers():"
+                  "  # ripplelint: disable=RPL012\n"
+                  "        peer.links()\n")
+        assert ripplelint.lint_source(source, virtual_path=ARENA_PATH) == []
+
+
 # -- suppression comments --------------------------------------------------
 
 
@@ -511,7 +566,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
                         "RPL006", "RPL007", "RPL008", "RPL009", "RPL010",
-                        "RPL011"):
+                        "RPL011", "RPL012"):
             assert rule_id in out
 
     def test_rule_filter(self, tmp_path, capsys):

@@ -10,12 +10,14 @@ from repro.common.geometry import (
     Frustum,
     Interval,
     Rect,
+    contains_batch,
     dominates,
     l1_distance,
     l2_distance,
     linf_distance,
     maxdist,
     mindist,
+    mindist_batch,
     minkowski_distance,
 )
 
@@ -209,3 +211,47 @@ class TestFrustum:
     def test_bounding_box(self):
         box = self.frustum().bounding_box()
         assert box == Rect((0.0, 0.0), (1.0, 0.5))
+
+
+class TestBatchKernels:
+    """The arena's array twins reproduce the scalar predicates exactly."""
+
+    def _boxes(self, seed, m=40, d=3):
+        rng = np.random.default_rng(seed)
+        corners = rng.random((2, m, d))
+        lo, hi = corners.min(axis=0), corners.max(axis=0)
+        return rng.random((m, d)), lo, hi
+
+    def test_contains_batch_matches_scalar(self):
+        points_, lo, hi = self._boxes(3)
+        for closed in (False, True):
+            got = contains_batch(points_, lo, hi, closed=closed)
+            for i in range(len(points_)):
+                rect = Rect(tuple(lo[i]), tuple(hi[i]))
+                assert got[i] == rect.contains(tuple(points_[i]),
+                                               closed=closed)
+
+    def test_contains_batch_broadcasts_one_box(self):
+        points_, lo, hi = self._boxes(5)
+        rect = Rect(tuple(lo[0]), tuple(hi[0]))
+        got = contains_batch(points_, lo[0], hi[0])
+        for i in range(len(points_)):
+            assert got[i] == rect.contains(tuple(points_[i]))
+
+    @pytest.mark.parametrize("p", (1, 2, math.inf))
+    def test_mindist_batch_bit_identical(self, p):
+        points_, lo, hi = self._boxes(7)
+        query = tuple(points_[0])
+        got = mindist_batch(query, lo, hi, p=p)
+        for i in range(len(lo)):
+            rect = Rect(tuple(lo[i]), tuple(hi[i]))
+            assert got[i] == mindist(query, rect, p)
+
+    @given(st.integers(0, 50))
+    def test_mindist_batch_property(self, seed):
+        points_, lo, hi = self._boxes(seed, m=12, d=2)
+        query = tuple(points_[0])
+        got = mindist_batch(query, lo, hi)
+        for i in range(len(lo)):
+            assert got[i] == mindist(query, Rect(tuple(lo[i]),
+                                                 tuple(hi[i])))

@@ -1,8 +1,9 @@
 """Unit tests for deterministic mixing."""
 
+import numpy as np
 from hypothesis import given, strategies as st
 
-from repro.common.hashing import mix, path_key
+from repro.common.hashing import mix, mix_array, path_key
 
 
 class TestMix:
@@ -42,3 +43,23 @@ class TestPathKey:
     def test_injective(self, a, b):
         if tuple(a) != tuple(b):
             assert path_key(tuple(a)) != path_key(tuple(b))
+
+
+class TestMixArray:
+    def test_elementwise_equals_scalar(self):
+        owners = np.arange(64, dtype=np.uint64)
+        keys = np.uint64(5) + owners * np.uint64(3)
+        mixed = mix_array(9, owners, keys)
+        assert mixed.dtype == np.uint64
+        for i in range(64):
+            assert int(mixed[i]) == mix(9, int(owners[i]), int(keys[i]))
+
+    def test_broadcasting(self):
+        row = mix_array(np.uint64(7), np.arange(8, dtype=np.uint64))
+        for i in range(8):
+            assert int(row[i]) == mix(7, i)
+
+    @given(st.lists(st.integers(0, 2 ** 64 - 1), min_size=1, max_size=4))
+    def test_property_matches_scalar(self, values):
+        mixed = mix_array(*[np.uint64(v) for v in values])
+        assert int(mixed) == mix(*values)

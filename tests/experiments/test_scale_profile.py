@@ -1,0 +1,43 @@
+"""The ``scale`` experiment: Lemma validation rows over complete arenas."""
+
+import pytest
+
+from repro.core.analysis import fast_latency, ripple_latency, slow_latency
+from repro.experiments.config import paper_config, smoke_config
+from repro.experiments.scale_profile import (SEQUENTIAL_DEPTH_CAP,
+                                             print_scale_rows, scale_profile)
+
+
+class TestScaleProfile:
+    def test_smoke_rows_all_match_lemmas(self):
+        rows = scale_profile(smoke_config())
+        depths = smoke_config().scale_depths
+        # Four modes per depth (all smoke depths are under the cap).
+        assert len(rows) == 4 * len(depths)
+        for row in rows:
+            assert row["match"] is True
+            assert row["processed"] == row["peers"] == 2 ** row["depth"]
+        by_mode = {(row["depth"], row["mode"]): row["latency"]
+                   for row in rows}
+        for depth in depths:
+            assert by_mode[(depth, "fast")] == fast_latency(depth)
+            assert by_mode[(depth, "r=1")] == ripple_latency(depth, 1)
+            assert by_mode[(depth, "r=2")] == ripple_latency(depth, 2)
+            assert by_mode[(depth, "slow")] == slow_latency(depth)
+
+    def test_sequential_modes_capped(self):
+        assert all(depth <= SEQUENTIAL_DEPTH_CAP
+                   for depth in smoke_config().scale_depths)
+        # The paper tier reaches past the cap: those depths must only
+        # carry the wavefront ("fast") row.
+        deep = [d for d in paper_config().scale_depths
+                if d > SEQUENTIAL_DEPTH_CAP]
+        assert deep  # the 1M-peer row exists
+
+    def test_print_raises_on_divergence(self, capsys):
+        rows = scale_profile(smoke_config())
+        print_scale_rows(rows)
+        assert "fast" in capsys.readouterr().out
+        rows[0]["match"] = False
+        with pytest.raises(SystemExit):
+            print_scale_rows(rows)

@@ -1,0 +1,263 @@
+"""Substrate invariants of the structure-of-arrays overlay arena.
+
+The mirror must be an *exact* snapshot (same peer ids, link order,
+bit-equal regions and store rows), the direct-build ``MidasArena`` must
+be a genuine MIDAS network (zones partition the domain, stores match
+zones, implicit links decode to sibling-subtree partitions), and the
+flyweight peer views must honor the read-only contract (frozen stores,
+shared liveness flags).  docs/SCALE.md documents the layout these tests
+pin down.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CanOverlay, ChordOverlay, MidasOverlay
+from repro.common.geometry import Rect, contains_batch
+from repro.common.store import LocalStore
+from repro.overlays import ArenaPeer, MidasArena, from_overlay, midas_arena
+
+
+def midas_network(seed, peers=36, tuples=260):
+    rng = np.random.default_rng(seed)
+    data = rng.random((tuples, 2)) * 0.999
+    overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
+    overlay.load(data)
+    overlay.grow_to(peers)
+    return overlay
+
+
+class TestMirrorSnapshot:
+    def test_structural_equality_midas(self):
+        overlay = midas_network(3)
+        arena = from_overlay(overlay)
+        assert len(arena) == len(overlay)
+        for obj, mirrored in zip(overlay.peers(), arena.peers()):
+            assert mirrored.peer_id == obj.peer_id
+            assert np.array_equal(mirrored.store.array, obj.store.array)
+            obj_links = obj.links()
+            arena_links = mirrored.links()
+            assert len(arena_links) == len(obj_links)
+            for a, b in zip(obj_links, arena_links):
+                assert b.peer.peer_id == a.peer.peer_id
+                assert b.region == a.region
+
+    @pytest.mark.parametrize("kind", ("chord", "can"))
+    def test_structural_equality_other_families(self, kind):
+        if kind == "chord":
+            overlay = ChordOverlay(size=24, seed=5)
+            overlay.load(np.random.default_rng(5).random((200, 1)) * 0.999)
+        else:
+            rng = np.random.default_rng(5)
+            overlay = CanOverlay(2, size=1, seed=5)
+            overlay.load(rng.random((200, 2)) * 0.999)
+            overlay.grow_to(25)
+        arena = from_overlay(overlay)
+        assert arena.strict_default == (kind == "chord")
+        for obj, mirrored in zip(overlay.peers(), arena.peers()):
+            assert np.array_equal(mirrored.store.array, obj.store.array)
+            for a, b in zip(obj.links(), mirrored.links()):
+                assert b.peer.peer_id == a.peer.peer_id
+                assert b.region == a.region
+
+    def test_replica_targets_match_source(self):
+        overlay = midas_network(9)
+        arena = from_overlay(overlay, replica_depth=4)
+        for obj, mirrored in zip(overlay.peers(), arena.peers()):
+            expected = [h.peer_id
+                        for h in overlay.replica_targets(obj, 3)]
+            got = [h.peer_id
+                   for h in arena.replica_targets(mirrored, 3)]
+            assert got == expected
+
+    def test_under_snapshot_raises_not_truncates(self):
+        overlay = midas_network(9)
+        arena = from_overlay(overlay, replica_depth=1)
+        with pytest.raises(ValueError, match="replica_depth"):
+            arena.replica_targets(arena.peer(0), 3)
+
+    def test_mixed_region_families_rejected(self):
+        overlay = midas_network(2)
+        hybrid = from_overlay(overlay)
+        with pytest.raises(ValueError):
+            type(hybrid)(kind="spiral", dims=2,
+                         peer_ids=hybrid.peer_ids,
+                         store_ptr=hybrid.store_ptr, tuples=hybrid.tuples,
+                         link_ptr=hybrid.link_ptr,
+                         link_target=hybrid.link_target,
+                         link_payload=hybrid.link_payload,
+                         replica_ptr=hybrid.replica_ptr,
+                         replica_idx=hybrid.replica_idx)
+
+
+class TestMidasArena:
+    @pytest.mark.parametrize("n", (1, 2, 7, 16, 37))
+    def test_zones_partition_domain(self, n):
+        arena = midas_arena(n, dims=2, seed=4)
+        total = 0.0
+        for i in range(n):
+            zone = arena.zone(i)
+            total += zone.volume()
+        assert total == pytest.approx(1.0)
+        rng = np.random.default_rng(11)
+        for point in rng.random((40, 2)):
+            point = tuple(point)
+            owners = [i for i in range(n)
+                      if arena.zone(i).contains(point)]
+            assert owners == [arena.locate_index(point)]
+
+    def test_depths_and_paths_roundtrip(self):
+        arena = midas_arena(37, dims=2, seed=4)
+        depths = {arena.depth_of(i) for i in range(len(arena))}
+        assert depths <= {arena.base_depth, arena.base_depth + 1}
+        for i in range(len(arena)):
+            value, length = arena.path_of(i), arena.depth_of(i)
+            assert arena._is_leaf(value, length)
+            assert arena._leaf_index(value, length) == i
+
+    def test_stores_match_zones(self):
+        rng = np.random.default_rng(6)
+        data = rng.random((400, 2)) * 0.999
+        arena = midas_arena(29, dims=2, seed=6, data=data)
+        assert arena.total_tuples() == len(data)
+        for i in range(len(arena)):
+            rows = arena.store_rows(i)
+            if not len(rows):
+                continue
+            zone = arena.zone(i)
+            assert contains_batch(rows, np.asarray(zone.lo),
+                                  np.asarray(zone.hi)).all()
+
+    def test_links_partition_zone_complement(self):
+        arena = midas_arena(21, dims=2, seed=3)
+        for i in range(len(arena)):
+            links = arena.decode_links(i)
+            assert len(links) == arena.depth_of(i)
+            covered = arena.zone(i).volume() + sum(
+                link.region.rect.volume() for link in links)
+            assert covered == pytest.approx(1.0)
+            for link in links:
+                assert link.peer.index != i
+                assert link.region.rect.contains(
+                    arena.zone(link.peer.index).center)
+
+    def test_precomputed_links_equal_on_demand(self):
+        lazy = midas_arena(53, dims=2, seed=8)
+        eager = midas_arena(53, dims=2, seed=8, precompute_links=True)
+        assert eager.link_target is not None
+        for i in range(53):
+            assert [l.peer.index for l in eager.decode_links(i)] \
+                == [l.peer.index for l in lazy.decode_links(i)]
+
+    def test_replica_targets_distinct_and_ordered(self):
+        arena = midas_arena(37, dims=2, seed=2)
+        peer = arena.peer(5)
+        holders = arena.replica_targets(peer, 4)
+        ids = [h.index for h in holders]
+        assert len(set(ids)) == len(ids) == 4
+        assert peer.index not in ids
+        # The first copy is the merge partner: the deepest sibling pool.
+        assert holders[0].index in range(*arena._subtree_leaf_range(
+            arena.path_of(5) ^ 1, arena.depth_of(5)))
+        assert arena.replica_targets(peer, 0) == []
+
+    def test_extra_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MidasArena(dims=2, store_ptr=np.zeros(7, dtype=np.int64),
+                       tuples=np.empty((0, 2)), base_depth=1, extra=4)
+
+
+class TestPeerViews:
+    def test_views_are_cached_flyweights(self):
+        arena = midas_arena(9, dims=2, seed=1)
+        assert arena.peer(3) is arena.peer(3)
+        assert arena.peers()[3] is arena.peer(3)
+
+    def test_sequence_protocol(self):
+        arena = midas_arena(9, dims=2, seed=1)
+        peers = arena.peers()
+        assert len(peers) == 9
+        assert isinstance(peers[0], ArenaPeer)
+        assert peers[-1].index == 8
+        assert [p.index for p in peers[2:5]] == [2, 3, 4]
+        assert [p.index for p in peers] == list(range(9))
+        with pytest.raises(IndexError):
+            peers[9]
+
+    def test_frozen_store_mutators_raise(self):
+        rng = np.random.default_rng(0)
+        arena = midas_arena(9, dims=2, seed=1,
+                            data=rng.random((50, 2)) * 0.999)
+        store = arena.peer(0).store
+        with pytest.raises(TypeError):
+            store.insert((0.1, 0.1))
+        with pytest.raises(TypeError):
+            store.bulk_load(np.zeros((1, 2)))
+        with pytest.raises(TypeError):
+            store.extract(Rect.unit(2))
+        with pytest.raises(TypeError):
+            store.take_all()
+        with pytest.raises(ValueError):
+            store.array[...] = 0.0
+
+    def test_substrate_rows_not_writeable(self):
+        arena = midas_arena(5, dims=2, seed=1,
+                            data=np.full((5, 2), 0.25))
+        with pytest.raises(ValueError):
+            arena.tuples[0, 0] = 0.5
+
+    def test_alive_flag_reads_through(self):
+        arena = midas_arena(9, dims=2, seed=1)
+        peer = arena.peer(4)
+        assert peer.alive
+        peer.alive = False
+        assert not arena.alive[4]
+        assert not arena.peer(4).alive
+        peer.alive = True
+        assert arena.alive.all()
+
+    def test_epoch_and_random_peer(self):
+        arena = midas_arena(9, dims=2, seed=1)
+        assert arena.epoch == 0
+        rng = np.random.default_rng(3)
+        assert arena.random_peer(rng).index in range(9)
+
+    def test_nbytes_counts_substrate(self):
+        small = midas_arena(8, dims=2, seed=1)
+        big = midas_arena(4096, dims=2, seed=1)
+        assert 0 < small.nbytes() < big.nbytes()
+
+
+class TestViewStores:
+    def test_view_of_shares_memory(self):
+        base = np.random.default_rng(1).random((12, 3))
+        view = LocalStore.view_of(base[4:9])
+        assert len(view) == 5
+        assert view.dims == 3
+        assert np.shares_memory(view.array, base)
+
+    def test_view_of_never_freezes_caller(self):
+        base = np.random.default_rng(1).random((6, 2))
+        LocalStore.view_of(base)
+        base[0, 0] = 0.5  # the caller's array stays writeable
+
+    def test_view_of_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LocalStore.view_of(np.zeros(4))
+        with pytest.raises(ValueError):
+            LocalStore.view_of(np.zeros((4, 0)))
+
+    def test_prime_seeds_cache_without_counter_noise(self):
+        store = LocalStore(2, [(0.2, 0.4), (0.6, 0.1)])
+        store.prime("key", "primed")
+        assert store.cached("key", lambda: "computed") == "primed"
+        assert store.cache_hits == 1
+        store.prime("key", "other")  # existing keys are not replaced
+        assert store.cached("key", lambda: "computed") == "primed"
+
+    def test_prime_respects_cache_switch(self, monkeypatch):
+        store = LocalStore(2, [(0.2, 0.4)])
+        monkeypatch.setattr(LocalStore, "cache_enabled", False)
+        store.prime("key", "primed")
+        assert store.cached("key", lambda: "computed") == "computed"
+        assert store.cache_hits == store.cache_misses == 0
