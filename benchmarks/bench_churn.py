@@ -1,7 +1,7 @@
 """Robustness: RIPPLE under churn and message loss (fault-injection layer).
 
-Sweeps crash fraction x r x replication degree over MIDAS, Chord, and CAN
-and records the degradation profile: completeness, unreachable volume,
+Sweeps crash fraction x r x replication degree over MIDAS, Chord, CAN,
+and the skip graph, and records the degradation profile: completeness, unreachable volume,
 fired timeouts, retransmissions, re-routes, and — when a
 :class:`~repro.overlays.replication.ReplicaDirectory` is attached —
 recovered regions and replica reads, all riding on the benchmark's
@@ -37,7 +37,7 @@ import pytest
 
 from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
                    Rect, ReplicaDirectory, SimulationBudgetExceeded,
-                   TopKHandler)
+                   SkipGraphOverlay, TopKHandler)
 from repro.net.faults import FaultPlan, resilient_ripple
 from repro.queries.rangeq import RangeHandler
 
@@ -49,8 +49,9 @@ BASELINE_PATH = "BENCH_churn.json"
 
 def build_overlay(kind, *, peers, tuples, seed):
     rng = seeded_rng(seed)
-    if kind == "chord":
-        overlay = ChordOverlay(size=peers, seed=seed)
+    if kind in ("chord", "skipgraph"):
+        cls = ChordOverlay if kind == "chord" else SkipGraphOverlay
+        overlay = cls(size=peers, seed=seed)
         overlay.load(rng.random((tuples, 1)) * 0.999)
         return overlay
     data = rng.random((tuples, 2)) * 0.999
@@ -64,7 +65,7 @@ def build_overlay(kind, *, peers, tuples, seed):
 
 
 def handler_for(kind, query):
-    dims = 1 if kind == "chord" else 2
+    dims = 1 if kind in ("chord", "skipgraph") else 2
     if query == "topk":
         return TopKHandler(LinearScore([1.0] * dims), 8)
     return RangeHandler(Rect((0.0,) * dims, (1.0,) * dims))
@@ -84,7 +85,7 @@ def run_one(overlay, kind, query, r, crash_fraction, seed, *,
 
 # -- pytest-benchmark sweep --------------------------------------------------
 
-OVERLAYS = ("midas", "chord", "can")
+OVERLAYS = ("midas", "chord", "can", "skipgraph")
 CHURN_GRID = [(0.0, 0), (0.1, 0), (0.1, 10 ** 9), (0.25, 0)]
 
 

@@ -50,6 +50,7 @@ from .overlays.can import CanOverlay, CanPeer
 from .overlays.chord import ChordOverlay, ChordPeer
 from .overlays.midas import MidasOverlay, MidasPeer
 from .overlays.replication import PromotedPeer, ReplicaDirectory
+from .overlays.skipgraph import SkipGraphOverlay, SkipGraphPeer
 from .overlays.zcurve import ZCurve
 from .queries.diversify import (DiversificationObjective, RippleDiversifier,
                                 greedy_diversify)
@@ -107,6 +108,8 @@ __all__ = [
     "SLOW",
     "ScoringFunction",
     "SimulationBudgetExceeded",
+    "SkipGraphOverlay",
+    "SkipGraphPeer",
     "SkylineHandler",
     "TopKHandler",
     "TraceSink",

@@ -1,4 +1,4 @@
-"""DHT overlays: MIDAS, CAN, Chord, BATON (+ Z-curve, super-peer tier).
+"""DHT overlays: MIDAS, CAN, Chord, skip graph, BATON (+ Z-curve, super-peer tier).
 
 The arena substrate (:mod:`repro.overlays.arena`) re-expresses MIDAS,
 Chord, and CAN networks as flat structure-of-arrays snapshots for
@@ -16,6 +16,7 @@ from .kdtree import Node, SplitTree
 from .midas import MidasOverlay, MidasPeer
 from .patterns import alive_patterns, matches_any_pattern
 from .replication import PromotedPeer, ReplicaDirectory
+from .skipgraph import SkipGraphOverlay, SkipGraphPeer
 from .superpeer import SuperPeer, SuperPeerNetwork, SuperPeerNode
 from .zcurve import ZCurve
 
@@ -23,7 +24,8 @@ __all__ = [
     "Adjacency", "ArenaPeer", "BatonOverlay", "BatonPeer", "CanOverlay",
     "CanPeer", "ChordOverlay", "ChordPeer", "MidasArena", "MidasOverlay",
     "MidasPeer", "MirrorArena", "Node", "OverlayArena", "PromotedPeer",
-    "ReplicaDirectory", "SplitTree", "SuperPeer", "SuperPeerNetwork",
+    "ReplicaDirectory", "SkipGraphOverlay", "SkipGraphPeer", "SplitTree",
+    "SuperPeer", "SuperPeerNetwork",
     "SuperPeerNode", "ZCurve", "alive_patterns", "from_overlay",
     "matches_any_pattern", "midas_arena", "run_wavefront",
     "wavefront_execute",

@@ -223,6 +223,61 @@ class TestRPL005:
         assert findings_for(source) == []
 
 
+SKIPGRAPH_PATH = "src/repro/overlays/skipgraph.py"
+
+SKIPGRAPH_OVERLAY = '''
+class SkipGraphPeer:
+    __slots__ = ("peer_id", "overlay", "key", "store", "alive", "replicas",
+                 "_links")
+
+class SkipGraphOverlay:
+    MAX_DEGREE = 6
+    def join(self): ...
+    def leave(self, peer=None): ...
+    def replica_targets(self, peer, count): return []
+'''
+
+
+class TestRPL005SkipGraph:
+    """The skip-graph shapes are inside the replication contract too."""
+
+    def test_skipgraph_shapes_satisfy_the_contract(self):
+        assert ripplelint.lint_source(
+            SKIPGRAPH_OVERLAY, virtual_path=SKIPGRAPH_PATH) == []
+
+    def test_peer_without_replicas_slot_is_flagged(self):
+        source = SKIPGRAPH_OVERLAY.replace('"replicas",\n                 ', '')
+        findings = ripplelint.lint_source(source,
+                                          virtual_path=SKIPGRAPH_PATH)
+        assert rules_of(findings) == ["RPL005"]
+        assert "replicas" in findings[0].message
+
+    def test_peer_without_alive_slot_is_flagged(self):
+        source = SKIPGRAPH_OVERLAY.replace('"alive", ', '')
+        findings = ripplelint.lint_source(source,
+                                          virtual_path=SKIPGRAPH_PATH)
+        assert rules_of(findings) == ["RPL005"]
+
+    def test_overlay_without_replica_targets_is_flagged(self):
+        source = SKIPGRAPH_OVERLAY.replace(
+            "    def replica_targets(self, peer, count): return []\n", "")
+        findings = ripplelint.lint_source(source,
+                                          virtual_path=SKIPGRAPH_PATH)
+        assert rules_of(findings) == ["RPL005"]
+
+    def test_tower_signature_with_extra_args_is_flagged(self):
+        source = SKIPGRAPH_OVERLAY.replace(
+            "def replica_targets(self, peer, count):",
+            "def replica_targets(self, peer, count, tower):")
+        findings = ripplelint.lint_source(source,
+                                          virtual_path=SKIPGRAPH_PATH)
+        assert rules_of(findings) == ["RPL005"]
+
+    def test_real_module_is_clean(self):
+        findings = ripplelint.lint_paths(["src/repro/overlays/skipgraph.py"])
+        assert findings == []
+
+
 # -- RPL006: mutable defaults / bare except -------------------------------
 
 

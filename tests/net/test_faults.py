@@ -17,43 +17,28 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
-                   RangeHandler, Rect, SkylineHandler, TopKHandler,
-                   run_ripple)
+from repro import (LinearScore, RangeHandler, Rect, TopKHandler, run_ripple)
 from repro.net.eventsim import EventSimulator, event_driven_ripple
 from repro.net.faults import FaultPlan, region_volume, resilient_ripple
 from repro.queries.rangeq import range_reference
 
+from tests import netlib
+from tests.netlib import ENGINE_CASES, handlers_for, seed_data
+
 
 def midas_network(seed, peers=40, tuples=300):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay, data
+    return (netlib.midas_network(seed, peers=peers, tuples=tuples),
+            seed_data(seed, tuples, 2))
 
 
 def chord_network(seed, peers=32, tuples=300):
-    overlay = ChordOverlay(size=peers, seed=seed)
-    data = np.random.default_rng(seed).random((tuples, 1)) * 0.999
-    overlay.load(data)
-    return overlay, data
+    return (netlib.chord_network(seed, peers=peers, tuples=tuples),
+            seed_data(seed, tuples, 1))
 
 
 def can_network(seed, peers=40, tuples=300):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = CanOverlay(2, size=1, seed=seed)
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay, data
-
-
-def handlers_for(dims):
-    return [TopKHandler(LinearScore([1.0] * dims), 4),
-            SkylineHandler(dims),
-            RangeHandler(Rect((0.1,) * dims, (0.8,) * dims))]
+    return (netlib.can_network(seed, peers=peers, tuples=tuples),
+            seed_data(seed, tuples, 2))
 
 
 class TestFaultPlan:
@@ -182,11 +167,8 @@ class TestMaxEventGuard:
         assert result.stats.processed > 0  # ran to completion under the cap
 
 
-ZERO_FAULT_CASES = [
-    ("midas", midas_network, 2, True),
-    ("chord", chord_network, 1, True),
-    ("can", can_network, 2, False),
-]
+ZERO_FAULT_CASES = [(kind, build, dims, strict)
+                    for kind, (build, dims, strict) in ENGINE_CASES.items()]
 
 
 class TestZeroFaultEquivalence:
@@ -194,7 +176,7 @@ class TestZeroFaultEquivalence:
                              ids=[c[0] for c in ZERO_FAULT_CASES])
     @pytest.mark.parametrize("r", [0, 1, 10 ** 9])
     def test_matches_recursive_engine(self, name, build, dims, strict, r):
-        overlay, _ = build(seed=11)
+        overlay = build(seed=11)
         initiator = overlay.random_peer(np.random.default_rng(11))
         for handler in handlers_for(dims):
             recursive = run_ripple(initiator, handler, r,
@@ -361,11 +343,12 @@ class TestUnderFaults:
         assert first.answer == second.answer
         assert first.stats == second.stats
 
-    @pytest.mark.parametrize("name,build,dims", [
-        ("chord", chord_network, 1), ("can", can_network, 2)])
-    def test_other_overlays_survive_churn(self, name, build, dims):
+    @pytest.mark.parametrize("name",
+                             [k for k in ENGINE_CASES if k != "midas"])
+    def test_other_overlays_survive_churn(self, name):
+        build, dims, _ = ENGINE_CASES[name]
         for seed in range(3):
-            overlay, _ = build(seed)
+            overlay = build(seed)
             plan = self.crashed_plan(overlay, seed + 9)
             handler = TopKHandler(LinearScore([1.0] * dims), 4)
             for r in (0, 10 ** 9):

@@ -4,8 +4,8 @@ The tentpole property of the self-healing subsystem: whenever every
 crashed peer has at least one live replica holder, ``resilient_ripple``
 run with a :class:`~repro.overlays.replication.ReplicaDirectory` must
 return completeness 1.0 *and* the byte-identical answer of the fault-free
-engines — for top-k, skyline, and diversification, on MIDAS, Chord, and
-CAN.  Alongside it:
+engines — for top-k, skyline, and diversification, on every substrate in
+``tests.netlib.OVERLAYS``.  Alongside it:
 
 * zero-fault + directory attached stays bit-identical to the fault-free
   engines (the detector never starts, no message-id draws shift);
@@ -24,50 +24,18 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
-                   ReplicaDirectory, SimulationBudgetExceeded,
-                   SkylineHandler, TopKHandler, run_ripple)
+from repro import (LinearScore, ReplicaDirectory, SimulationBudgetExceeded,
+                   TopKHandler, run_ripple)
 from repro.net.eventsim import event_driven_ripple
 from repro.net.faults import FaultPlan, resilient_ripple
-from repro.queries.diversify import (DiversificationObjective,
-                                     SingleDiversificationHandler)
 
-
-def midas_network(seed, peers=36, tuples=260):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay
-
-
-def chord_network(seed, peers=32, tuples=260):
-    overlay = ChordOverlay(size=peers, seed=seed)
-    overlay.load(np.random.default_rng(seed).random((tuples, 1)) * 0.999)
-    return overlay
-
-
-def can_network(seed, peers=36, tuples=260):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = CanOverlay(2, size=1, seed=seed)
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay
-
-
-NETWORKS = {"midas": midas_network, "chord": chord_network,
-            "can": can_network}
+from tests.netlib import (NETWORKS, OVERLAYS, STRICT, chord_network,
+                          midas_network)
+from tests.netlib import handlers_for as _handlers_for
 
 
 def handlers_for(dims):
-    handlers = [TopKHandler(LinearScore([1.0] * dims), 4),
-                SkylineHandler(dims)]
-    objective = DiversificationObjective([0.4] * dims, lam=0.5)
-    handlers.append(SingleDiversificationHandler(
-        objective, members=[(0.2,) * dims, (0.7,) * dims]))
-    return handlers
+    return _handlers_for(dims, third="diversify")
 
 
 def survivable_churn(overlay, initiator, *, seed, crash_fraction=0.3,
@@ -92,7 +60,7 @@ def survivable_churn(overlay, initiator, *, seed, crash_fraction=0.3,
 
 
 class TestExactRecovery:
-    @pytest.mark.parametrize("kind", ("midas", "chord", "can"))
+    @pytest.mark.parametrize("kind", OVERLAYS)
     @pytest.mark.parametrize("r", (0, 2))
     def test_completeness_one_and_exact_answers(self, kind, r):
         crashed_somewhere = recovered_somewhere = False
@@ -105,7 +73,7 @@ class TestExactRecovery:
             for handler in handlers_for(restriction.rect.dims):
                 expected = run_ripple(initiator, handler, r,
                                       restriction=restriction,
-                                      strict=kind != "can")
+                                      strict=STRICT[kind])
                 result = resilient_ripple(initiator, handler, r,
                                           restriction=restriction,
                                           faults=plan, replicas=directory)
@@ -117,7 +85,7 @@ class TestExactRecovery:
 
     @settings(max_examples=12, deadline=None)
     @given(seed=st.integers(0, 40),
-           kind=st.sampled_from(("midas", "chord", "can")),
+           kind=st.sampled_from(OVERLAYS),
            r=st.sampled_from((0, 2)))
     def test_property_survivable_churn_is_lossless(self, seed, kind, r):
         overlay = NETWORKS[kind](seed)
@@ -127,7 +95,7 @@ class TestExactRecovery:
                                            drop_prob=0.03)
         handler = handlers_for(restriction.rect.dims)[seed % 3]
         expected = run_ripple(initiator, handler, r, restriction=restriction,
-                              strict=kind != "can")
+                              strict=STRICT[kind])
         result = resilient_ripple(initiator, handler, r,
                                   restriction=restriction,
                                   faults=plan, replicas=directory)
@@ -153,7 +121,7 @@ class TestExactRecovery:
 
 
 class TestZeroFaultIdentity:
-    @pytest.mark.parametrize("kind", ("midas", "chord", "can"))
+    @pytest.mark.parametrize("kind", OVERLAYS)
     @pytest.mark.parametrize("copies", (0, 2))
     def test_directory_alone_changes_nothing(self, kind, copies):
         """With a zero-fault plan the detector never starts; attaching a
@@ -182,7 +150,7 @@ class TestZeroFaultIdentity:
 
 
 class TestTotalPartition:
-    @pytest.mark.parametrize("kind", ("midas", "chord", "can"))
+    @pytest.mark.parametrize("kind", OVERLAYS)
     def test_terminates_with_partial_answer(self, kind):
         """Every peer but the initiator dead and no replicas anywhere —
         must degrade to a partial answer, never livelock or raise."""

@@ -6,7 +6,7 @@ Three pillars:
   must reproduce the single-query engines exactly: answers *and* full
   ``QueryStats`` against ``run_ripple`` / ``event_driven_ripple``
   (fault-free) and ``resilient_ripple`` (loss, churn, replicas), across
-  MIDAS / Chord / CAN and all handlers.
+  every substrate in ``tests.netlib.OVERLAYS`` and all handlers.
 * **Admission control** — capacity and the bounded queue are honoured,
   overflow is shed with a typed outcome, policies order admission.
 * **Graceful degradation** — deadline and per-query event budgets
@@ -19,9 +19,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
-                   RangeHandler, Rect, SkylineHandler, TopKHandler,
-                   run_ripple)
+from repro import LinearScore, SkylineHandler, TopKHandler, run_ripple
 from repro.net.context import QueryContext
 from repro.net.eventsim import (EventSimulator, SimulationBudgetExceeded,
                                 event_driven_ripple)
@@ -33,42 +31,8 @@ from repro.net.scheduler import (FifoPolicy, PriorityPolicy,
 from repro.obs.metrics import MetricsRegistry
 from repro.overlays.replication import ReplicaDirectory
 
-
-def midas_network(seed, peers=40, tuples=300):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay
-
-
-def chord_network(seed, peers=32, tuples=300):
-    overlay = ChordOverlay(size=peers, seed=seed)
-    overlay.load(np.random.default_rng(seed).random((tuples, 1)) * 0.999)
-    return overlay
-
-
-def can_network(seed, peers=40, tuples=300):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = CanOverlay(2, size=1, seed=seed)
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay
-
-
-NETWORKS = {
-    "midas": (midas_network, 2, True),
-    "chord": (chord_network, 1, True),
-    "can": (can_network, 2, False),
-}
-
-
-def handlers_for(dims):
-    return [TopKHandler(LinearScore([1.0] * dims), 4),
-            SkylineHandler(dims),
-            RangeHandler(Rect((0.1,) * dims, (0.8,) * dims))]
+from tests.netlib import ENGINE_CASES as NETWORKS
+from tests.netlib import handlers_for, midas_network
 
 
 class TestBitIdentityFaultFree:

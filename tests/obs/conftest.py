@@ -8,11 +8,12 @@ so CI can upload the exact failing query for replay in
 
 import os
 
-import numpy as np
 import pytest
 
-from repro import CanOverlay, ChordOverlay, MidasOverlay, QueryTrace
+from repro import QueryTrace
 from repro.obs import write_jsonl
+
+from tests import netlib
 
 ARTIFACT_DIR = "test-trace-artifacts"
 
@@ -37,31 +38,8 @@ def trace(request):
         write_jsonl(recorded, os.path.join(ARTIFACT_DIR, safe + ".jsonl"))
 
 
-def midas_network(seed, peers=32, tuples=240, dims=2):
-    rng = np.random.default_rng(seed)
-    overlay = MidasOverlay(dims, size=1, seed=seed, join_policy="data")
-    overlay.load(rng.random((tuples, dims)) * 0.999)
-    overlay.grow_to(peers)
-    return overlay
+NETWORKS = netlib.NETWORKS
 
 
-def chord_network(seed, peers=32, tuples=240):
-    overlay = ChordOverlay(size=peers, seed=seed)
-    overlay.load(np.random.default_rng(seed).random((tuples, 1)) * 0.999)
-    return overlay
-
-
-def can_network(seed, peers=32, tuples=240, dims=2):
-    rng = np.random.default_rng(seed)
-    overlay = CanOverlay(dims, size=1, seed=seed)
-    overlay.load(rng.random((tuples, dims)) * 0.999)
-    overlay.grow_to(peers)
-    return overlay
-
-
-NETWORKS = {"midas": midas_network, "chord": chord_network,
-            "can": can_network}
-
-
-def build_network(kind, seed, **kwargs):
-    return NETWORKS[kind](seed, **kwargs)
+def build_network(kind, seed, peers=32, tuples=240):
+    return netlib.build_network(kind, seed, peers=peers, tuples=tuples)

@@ -18,12 +18,14 @@ from repro.obs import (critical_path, load_jsonl, replay, to_jsonl_records,
                        to_perfetto, write_jsonl, write_perfetto)
 from repro.obs.traceview import render
 
+from tests import netlib
+
 from .conftest import build_network
 
 
 def record_trace(kind="midas", query="topk", seed=3, r=1, **net_kwargs):
     overlay = build_network(kind, seed, **net_kwargs)
-    dims = 1 if kind == "chord" else 2
+    dims = netlib.DIMS[kind]
     if query == "topk":
         handler = TopKHandler(LinearScore([1.0] * dims), 4)
     else:

@@ -16,6 +16,8 @@ from repro import (DiversificationObjective, FaultPlan, LinearScore,
                    resilient_ripple, run_ripple)
 from repro.obs import NULL_SINK, NullSink, Span, state_size
 
+from tests import netlib
+
 from .conftest import build_network
 
 # strict=False throughout: CAN's conservative region covers legally
@@ -38,10 +40,10 @@ def handler_for(query, dims):
 
 @pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("query", ["topk", "skyline"])
-@pytest.mark.parametrize("kind", ["midas", "chord", "can"])
+@pytest.mark.parametrize("kind", netlib.OVERLAYS)
 def test_nullsink_bit_identity(kind, query, engine, trace):
     overlay = build_network(kind, seed=3)
-    dims = 1 if kind == "chord" else 2
+    dims = netlib.DIMS[kind]
     handler = handler_for(query, dims)
     run = ENGINES[engine]
     for r in (0, 2, SLOW):
@@ -53,10 +55,10 @@ def test_nullsink_bit_identity(kind, query, engine, trace):
             (kind, query, engine, r)
 
 
-@pytest.mark.parametrize("kind", ["midas", "chord", "can"])
+@pytest.mark.parametrize("kind", netlib.OVERLAYS)
 def test_nullsink_bit_identity_under_churn(kind, trace):
     overlay = build_network(kind, seed=5)
-    dims = 1 if kind == "chord" else 2
+    dims = netlib.DIMS[kind]
     handler = handler_for("topk", dims)
 
     def run(sink):

@@ -21,6 +21,8 @@ from repro import (FaultPlan, LinearScore, QueryTrace, SLOW, SkylineHandler,
                    event_driven_ripple, resilient_ripple, run_ripple)
 from repro.obs import replay
 
+from tests import netlib
+
 from .conftest import build_network
 
 R_VALUES = (0, 1, 3, SLOW)
@@ -48,7 +50,7 @@ def check(trace, stats):
 
 @settings(max_examples=25, deadline=None)
 @given(
-    kind=st.sampled_from(["midas", "chord", "can"]),
+    kind=st.sampled_from(netlib.OVERLAYS),
     net_seed=st.integers(0, 2),
     query=st.sampled_from(["topk", "skyline"]),
     r=st.sampled_from(R_VALUES),
@@ -58,7 +60,7 @@ def check(trace, stats):
 def test_replay_matches_fault_free_engines(kind, net_seed, query, r,
                                            engine, peer_seed):
     overlay = network(kind, net_seed)
-    dims = 1 if kind == "chord" else 2
+    dims = netlib.DIMS[kind]
     handler = handler_for(query, dims)
     peer = overlay.random_peer(np.random.default_rng(peer_seed))
     trace = QueryTrace()
@@ -70,7 +72,7 @@ def test_replay_matches_fault_free_engines(kind, net_seed, query, r,
 
 @settings(max_examples=25, deadline=None)
 @given(
-    kind=st.sampled_from(["midas", "chord", "can"]),
+    kind=st.sampled_from(netlib.OVERLAYS),
     net_seed=st.integers(0, 1),
     query=st.sampled_from(["topk", "skyline"]),
     r=st.sampled_from(R_VALUES),
@@ -82,7 +84,7 @@ def test_replay_matches_fault_free_engines(kind, net_seed, query, r,
 def test_replay_matches_supervised_engine(kind, net_seed, query, r,
                                           fault_seed, crash, drop, jitter):
     overlay = network(kind, net_seed)
-    dims = 1 if kind == "chord" else 2
+    dims = netlib.DIMS[kind]
     handler = handler_for(query, dims)
     peer = overlay.random_peer(np.random.default_rng(fault_seed))
     plan = FaultPlan.churn(overlay, crash_fraction=crash, seed=fault_seed,

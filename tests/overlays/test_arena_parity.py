@@ -18,52 +18,29 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import (CanOverlay, ChordOverlay, LinearScore, MidasOverlay,
-                   ReplicaDirectory, SkylineHandler, TopKHandler, run_ripple)
+from repro import LinearScore, ReplicaDirectory, run_ripple
 from repro.net.eventsim import event_driven_ripple
 from repro.net.faults import FaultPlan, resilient_ripple
 from repro.overlays import (from_overlay, midas_arena, run_wavefront,
                             wavefront_execute)
-from repro.queries.diversify import (DiversificationObjective,
-                                     SingleDiversificationHandler)
 from repro.queries.skyline import distributed_skyline
 from repro.queries.topk import distributed_topk
 
-
-def midas_network(seed, peers=60, tuples=260):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = MidasOverlay(2, size=1, seed=seed, join_policy="data")
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay
+from tests import netlib
+from tests.netlib import can_network
 
 
-def chord_network(seed, peers=60, tuples=260):
-    overlay = ChordOverlay(size=peers, seed=seed)
-    overlay.load(np.random.default_rng(seed).random((tuples, 1)) * 0.999)
-    return overlay
+def build(kind, seed, peers=60, tuples=260):
+    return netlib.build_network(kind, seed, peers=peers, tuples=tuples)
 
 
-def can_network(seed, peers=60, tuples=260):
-    rng = np.random.default_rng(seed)
-    data = rng.random((tuples, 2)) * 0.999
-    overlay = CanOverlay(2, size=1, seed=seed)
-    overlay.load(data)
-    overlay.grow_to(peers)
-    return overlay
-
-
-NETWORKS = {"midas": midas_network, "chord": chord_network,
-            "can": can_network}
+NETWORKS = {kind: (lambda seed, peers=60, tuples=260, _k=kind:
+                   build(_k, seed, peers=peers, tuples=tuples))
+            for kind in netlib.OVERLAYS}
 
 
 def handlers_for(dims):
-    objective = DiversificationObjective([0.4] * dims, lam=0.5)
-    return [TopKHandler(LinearScore([1.0] * dims), 4),
-            SkylineHandler(dims),
-            SingleDiversificationHandler(
-                objective, members=[(0.2,) * dims, (0.7,) * dims])]
+    return netlib.handlers_for(dims, third="diversify")
 
 
 def assert_bit_identical(got, expected):
@@ -79,7 +56,7 @@ class TestMirrorBitIdentity:
 
     @relaxed
     @given(seed=st.integers(0, 30),
-           kind=st.sampled_from(("midas", "chord", "can")),
+           kind=st.sampled_from(netlib.OVERLAYS),
            peers=st.integers(50, 120),
            r=st.sampled_from((0, 2)),
            pick=st.integers(0, 2))
@@ -97,7 +74,7 @@ class TestMirrorBitIdentity:
 
     @relaxed
     @given(seed=st.integers(0, 30),
-           kind=st.sampled_from(("midas", "chord", "can")),
+           kind=st.sampled_from(netlib.OVERLAYS),
            r=st.sampled_from((0, 1)),
            pick=st.integers(0, 2))
     def test_event_driven_engine(self, seed, kind, r, pick):
@@ -111,7 +88,7 @@ class TestMirrorBitIdentity:
                                   restriction=restriction, strict=False)
         assert_bit_identical(got, expected)
 
-    @pytest.mark.parametrize("kind", ("midas", "chord", "can"))
+    @pytest.mark.parametrize("kind", netlib.OVERLAYS)
     def test_zero_fault_resilient_engine(self, kind):
         """The supervised engine over a mirror + its snapshotted replica
         directory stays bit-identical to the fault-free run — the
@@ -140,7 +117,7 @@ class TestWavefrontParity:
 
     @relaxed
     @given(seed=st.integers(0, 30),
-           kind=st.sampled_from(("midas", "chord", "can")),
+           kind=st.sampled_from(netlib.OVERLAYS),
            peers=st.integers(50, 120),
            pick=st.integers(0, 1))
     def test_cold_queries_on_mirrors(self, seed, kind, peers, pick):
@@ -205,7 +182,7 @@ class TestWavefrontParity:
             assert_bit_identical(got, expected)
 
     def test_non_strict_falls_back_to_scalar(self):
-        overlay = can_network(7)
+        overlay = can_network(7, peers=60)
         arena = from_overlay(overlay)
         restriction = overlay.domain()
         handler = handlers_for(2)[0]

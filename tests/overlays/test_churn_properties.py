@@ -12,6 +12,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.overlays.can import CanOverlay
 from repro.overlays.chord import ChordOverlay
 from repro.overlays.midas import MidasOverlay
+from repro.overlays.skipgraph import SkipGraphOverlay
 
 churn_params = st.tuples(st.integers(0, 10 ** 6),
                          st.lists(st.booleans(), min_size=5, max_size=40))
@@ -102,3 +103,44 @@ class TestCanChurn:
             if peer.zone.contains(point):
                 continue
             assert any(link.region.contains(point) for link in links)
+
+
+class TestSkipGraphChurn:
+    @given(churn_params)
+    @relaxed
+    def test_arc_regions_partition_after_churn(self, params):
+        seed, plan = params
+        overlay = SkipGraphOverlay(size=8, seed=seed)
+        churn(overlay, plan, None)
+        for peer in list(overlay.peers())[::3]:
+            covered = peer.zone.length() + sum(
+                link.region.length() for link in peer.links())
+            assert covered == pytest.approx(1.0)
+
+    @given(churn_params)
+    @relaxed
+    def test_degree_bound_survives_churn(self, params):
+        # the constant-degree guarantee must hold on every churned shape,
+        # not just freshly built networks
+        seed, plan = params
+        overlay = SkipGraphOverlay(size=8, seed=seed)
+        churn(overlay, plan, None)
+        assert overlay.max_links() <= SkipGraphOverlay.MAX_DEGREE
+
+    @given(churn_params)
+    @relaxed
+    def test_queries_stay_exact_after_churn(self, params):
+        from repro import LinearScore, run_fast
+        from repro.queries.topk import TopKHandler, topk_reference
+
+        seed, plan = params
+        rng = np.random.default_rng(seed)
+        data = rng.random((150, 1)) * 0.999
+        overlay = SkipGraphOverlay(size=8, seed=seed)
+        overlay.load(data)
+        churn(overlay, plan, rng)
+        fn = LinearScore([1.0])
+        result = run_fast(overlay.random_peer(rng), TopKHandler(fn, 4),
+                          restriction=overlay.domain())
+        assert [s for s, _ in result.answer] == \
+            [s for s, _ in topk_reference(data, fn, 4)]

@@ -1,35 +1,24 @@
 """Replica placement and the ReplicaDirectory lifecycle.
 
 Placement must follow each overlay's structural discipline (MIDAS sibling
-buddies, Chord successor lists, CAN face neighbors), never replicate a
-peer onto itself, and stay consistent through churn (epoch-driven
-reinstall) and data mutation (version-driven re-snapshot).  Promotion
-must hand out a PeerLike stand-in that impersonates the dead owner.
+buddies, Chord successor lists, CAN face neighbors, skip-graph towers),
+never replicate a peer onto itself, and stay consistent through churn
+(epoch-driven reinstall) and data mutation (version-driven re-snapshot).
+Promotion must hand out a PeerLike stand-in that impersonates the dead
+owner.
 """
 
 import numpy as np
 import pytest
 
-from repro import (CanOverlay, ChordOverlay, MidasOverlay, PromotedPeer,
-                   ReplicaDirectory, physical_id)
+from repro import PromotedPeer, ReplicaDirectory, physical_id
 from repro.common.store import LocalStore, Replica
+
+from tests.netlib import OVERLAYS, build_network
 
 
 def build(kind, seed=3, peers=24, tuples=200):
-    rng = np.random.default_rng(seed)
-    if kind == "chord":
-        overlay = ChordOverlay(size=peers, seed=seed)
-        overlay.load(rng.random((tuples, 1)) * 0.999)
-        return overlay
-    cls = MidasOverlay if kind == "midas" else CanOverlay
-    kwargs = {"join_policy": "data"} if kind == "midas" else {}
-    overlay = cls(2, size=1, seed=seed, **kwargs)
-    overlay.load(rng.random((tuples, 2)) * 0.999)
-    overlay.grow_to(peers)
-    return overlay
-
-
-OVERLAYS = ("midas", "chord", "can")
+    return build_network(kind, seed, peers=peers, tuples=tuples)
 
 
 class TestReplicaTargets:
