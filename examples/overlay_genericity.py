@@ -1,7 +1,8 @@
-"""RIPPLE is overlay-generic (Section 3.1): one query, three DHTs.
+"""RIPPLE is overlay-generic (Section 3.1): one query, four DHTs.
 
 The same top-k handler — untouched — runs over MIDAS (k-d tree regions),
-Chord (finger-arc regions on a ring) and CAN (pyramidal frustum regions),
+Chord (finger-arc regions on a ring), CAN (pyramidal frustum regions)
+and the rainbow skip graph (tower/skip-level arcs, constant degree),
 because each overlay merely assigns its links regions that partition the
 domain.  Only the cost profiles differ.
 
@@ -15,6 +16,7 @@ import numpy as np
 from repro import MidasOverlay, NearestScore, run_ripple
 from repro.overlays.can import CanOverlay
 from repro.overlays.chord import ChordOverlay
+from repro.overlays.skipgraph import SkipGraphOverlay
 from repro.queries.topk import TopKHandler, topk_reference
 
 
@@ -60,7 +62,19 @@ def main() -> None:
           f"latency={result.stats.latency}, "
           f"congestion={result.stats.processed}")
 
-    print("\nsame handler, three overlays — only the region geometry "
+    # --- Rainbow skip graph: constant-degree ring; exact arcs -> strict ---
+    skip = SkipGraphOverlay(size=128, seed=1)
+    skip.load(data1d)
+    result = run_ripple(skip.random_peer(), TopKHandler(fn1, k), 2,
+                        restriction=skip.domain(), strict=True)
+    assert [s for s, _ in result.answer] == reference1
+    assert skip.max_links() <= SkipGraphOverlay.MAX_DEGREE
+    print(f"rainbow skip graph (128 peers, 1-d): correct; "
+          f"latency={result.stats.latency}, "
+          f"congestion={result.stats.processed}, "
+          f"max-degree={skip.max_links()} (cap {SkipGraphOverlay.MAX_DEGREE})")
+
+    print("\nsame handler, four overlays — only the region geometry "
           "changed.")
 
 

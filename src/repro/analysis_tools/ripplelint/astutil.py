@@ -1,0 +1,72 @@
+"""Small AST helpers shared by the analysis pipeline and the rules.
+
+Nothing here knows about rules, scoping, or the project model — these are
+the syntax-level primitives: dotted-name extraction, attribute-chain
+roots, function-stack walks, and arity counting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["attr_chain", "chain_root", "dotted", "method_arity",
+           "walk_with_function_stack"]
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def chain_root(node: ast.AST) -> str | None:
+    """The leftmost ``Name`` of an attribute/subscript chain, else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def attr_chain(node: ast.AST) -> list[str]:
+    """Every name along an attribute/subscript chain, root first.
+
+    ``peer.store.insert`` -> ``["peer", "store", "insert"]``; subscripts
+    are skipped (``peers[0].store`` -> ``["peers", "store"]``); a
+    non-Name root contributes nothing.
+    """
+    parts: list[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def walk_with_function_stack(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, tuple[str, ...]]]:
+    """Yield ``(node, enclosing_function_names)`` in document order."""
+    stack: list[tuple[ast.AST, tuple[str, ...]]] = [(tree, ())]
+    while stack:
+        node, functions = stack.pop()
+        yield node, functions
+        inner = functions
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = functions + (node.name,)
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, inner))
+
+
+def method_arity(fn: ast.FunctionDef) -> int | None:
+    """Positional arity excluding self, or None when *args absorbs any."""
+    if fn.args.vararg is not None:
+        return None
+    return len(fn.args.posonlyargs) + len(fn.args.args) - 1

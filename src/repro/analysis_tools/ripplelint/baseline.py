@@ -1,0 +1,75 @@
+"""Finding baselines: adopt the linter on a codebase with known debt.
+
+A baseline is a JSON snapshot of the current findings.  Comparing a run
+against it splits findings into *new* (fail the build) and *known*
+(tracked debt, reported but tolerated), so a rule can be introduced —
+or tightened via reachability — without first paying down every historic
+hit in the same change.
+
+Matching is deliberately line-insensitive: findings are keyed by
+``(path, rule, message)`` as a multiset, so unrelated edits that shift a
+known finding up or down a file do not resurrect it as "new".  Two
+*identical* findings in one file are two multiset entries — fixing one
+of a pair shrinks the allowance.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .engine import Finding
+
+__all__ = ["compare", "load", "write"]
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule, finding.message)
+
+
+def write(path: Path, findings: Iterable[Finding]) -> None:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    entries = [
+        {"path": path, "rule": rule, "message": message}
+        for path, rule, message in sorted(_key(f) for f in findings)]
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def load(path: Path) -> Counter:
+    """The baseline at ``path`` as a ``(path, rule, message)`` multiset."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path}; "
+            f"re-record with --write-baseline")
+    counter: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counter[(entry["path"], entry["rule"], entry["message"])] += 1
+    return counter
+
+
+def compare(findings: Sequence[Finding],
+            known: Counter) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into ``(new, baselined)`` against ``known``.
+
+    Consumes baseline allowances as a multiset: each recorded finding
+    excuses at most one live finding with the same key.
+    """
+    remaining = Counter(known)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

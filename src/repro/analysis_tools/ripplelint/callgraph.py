@@ -1,0 +1,144 @@
+"""Conservative call graph over the ``repro`` package tree.
+
+Nodes are the symbol table's functions (top-level functions and class
+methods); edges over-approximate "may call":
+
+* **Name calls** (``execute(...)``) resolve through the import resolver,
+  following re-export chains; calling a project class adds an edge to
+  its ``__init__``.
+* **Attribute calls** (``handler.compute_local_state(...)``,
+  ``self._admit(...)``) resolve receiver-blind through the method index:
+  an edge to *every* project method of that name.  This is exactly how
+  the protocol classes (``QueryHandler``, ``TraceSink``, the peer and
+  overlay protocols) dispatch dynamically, so the over-approximation is
+  the point — a handler implementation becomes reachable the moment any
+  reachable code calls its protocol method by name.  Module-alias chains
+  (``framework.execute``) resolve precisely first.
+* **References** — a bare name that resolves to a project function but
+  is not called (callback passing, ``executor=wavefront_execute``) also
+  adds an edge: address-taken functions may run.
+
+Calls that resolve to nothing in the project (builtins, numpy, genuinely
+dynamic dispatch) are counted per function as *unresolved*; the
+reachability pass exposes that count so scoping can prove it never got
+looser than the module-prefix fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+from .astutil import dotted
+from .symbols import SymbolTable
+
+__all__ = ["CallGraph"]
+
+#: Attribute-call names that never resolve inside the project and would
+#: otherwise be counted as unresolved edges on nearly every function.
+_BUILTIN_METHODS = frozenset({
+    "append", "extend", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "get", "items", "keys", "values", "add", "discard",
+    "remove", "index", "count", "sort", "reverse", "copy", "join",
+    "split", "rsplit", "strip", "lstrip", "rstrip", "startswith",
+    "endswith", "format", "encode", "decode", "lower", "upper", "title",
+    "replace", "partition", "rpartition", "zfill", "ljust", "rjust",
+})
+
+
+@dataclass
+class CallGraph:
+    """``qualname -> set[qualname]`` edges plus unresolved-call counts."""
+
+    symbols: SymbolTable
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    unresolved: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, symbols: SymbolTable) -> "CallGraph":
+        graph = cls(symbols=symbols)
+        for qualname, info in symbols.functions.items():
+            graph.edges[qualname] = set()
+            graph.unresolved[qualname] = 0
+            graph._scan_function(qualname, info.module, info.node,
+                                 cls_qualname=info.cls)
+        return graph
+
+    # -- construction ------------------------------------------------------
+
+    def _scan_function(self, qualname: str, module: str,
+                       fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                       cls_qualname: str | None) -> None:
+        out = self.edges[qualname]
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                self._resolve_call(qualname, module, node, cls_qualname, out)
+            elif isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load):
+                referenced = self.symbols.resolve_name(module, node.id)
+                if referenced in self.symbols.functions:
+                    out.add(referenced)
+
+    def _resolve_call(self, qualname: str, module: str, call: ast.Call,
+                      cls_qualname: str | None, out: set[str]) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.symbols.resolve_name(module, func.id)
+            if resolved is None:
+                if not hasattr(builtins, func.id):
+                    self.unresolved[qualname] += 1
+                return
+            self._add_target(resolved, out)
+        elif isinstance(func, ast.Attribute):
+            path = dotted(func)
+            if path is not None:
+                precise = self.symbols.resolve_dotted(module, path)
+                if precise is not None:
+                    self._add_target(precise, out)
+                    return
+            method = func.attr
+            if cls_qualname is not None and self._receiver_is_self(func):
+                own = self.symbols.classes[cls_qualname].methods.get(method)
+                if own is not None:
+                    out.add(own.qualname)
+            candidates = self.symbols.method_index.get(method, ())
+            if candidates:
+                out.update(candidates)
+            elif method not in _BUILTIN_METHODS:
+                self.unresolved[qualname] += 1
+        else:
+            # Calling the result of an arbitrary expression: dynamic.
+            self.unresolved[qualname] += 1
+
+    @staticmethod
+    def _receiver_is_self(func: ast.Attribute) -> bool:
+        return isinstance(func.value, ast.Name) and func.value.id == "self"
+
+    def _add_target(self, resolved: str, out: set[str]) -> None:
+        if resolved in self.symbols.functions:
+            out.add(resolved)
+        elif resolved in self.symbols.classes:
+            init = self.symbols.classes[resolved].methods.get("__init__")
+            if init is not None:
+                out.add(init.qualname)
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qualname: str) -> set[str]:
+        return self.edges.get(qualname, set())
+
+    def has_unresolved(self, qualname: str) -> bool:
+        return self.unresolved.get(qualname, 0) > 0
+
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Transitive closure over the edges; cycle-safe BFS."""
+        seen = set(root for root in roots if root in self.edges)
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen

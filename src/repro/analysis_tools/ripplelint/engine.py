@@ -1,0 +1,425 @@
+"""ripplelint's core model: findings, parsed modules, rules, the project.
+
+The engine owns everything that is not a rule: parsing and suppression
+bookkeeping (:class:`ParsedModule`), the finding/result model
+(:class:`Finding`), rule registration (:class:`Rule`), scope predicates,
+and — new with the whole-program pipeline — :class:`Project`, which
+parses an entire ``repro`` package tree once and lazily derives the
+symbol table (:mod:`.symbols`), the call graph (:mod:`.callgraph`), and
+the simulation-reachability pass (:mod:`.reachability`) that rules
+consult through :func:`sim_scope`.
+
+Scoping is deliberately monotone: reachability only ever *adds* files
+and lines to a rule's scope on top of the historical module-prefix
+scopes (``_SHARED_SCOPE``, :data:`SIM_FALLBACK_SCOPE`).  An unresolvable
+call edge therefore cannot silence a rule — the prefix fallback still
+applies — it can only fail to extend the scope further.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (TYPE_CHECKING, Callable, Iterable, Iterator, Optional,
+                    Sequence)
+
+if TYPE_CHECKING:  # import cycle: symbols/callgraph consume ParsedModule
+    from .callgraph import CallGraph
+    from .reachability import SimReachability
+    from .symbols import SymbolTable
+
+__all__ = ["Finding", "ParsedModule", "Project", "Rule", "SIM_FALLBACK_SCOPE",
+           "finding_at", "in_scope", "in_shared_scope", "iter_python_files",
+           "lint_module", "lint_paths", "lint_source", "sim_scope"]
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``end_line`` is the last line of the flagged statement's span (used
+    only for suppression matching: a ``# ripplelint: disable=`` comment
+    on any line of a multi-line statement silences it); it defaults to
+    ``line`` and never appears in rendered output.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    end_line: int = 0
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "github":
+            # GitHub Actions problem-matcher format: annotates the file
+            # and line directly on the PR diff.
+            return (f"::error file={self.path},line={self.line},"
+                    f"col={self.col}::{self.rule} {self.message}")
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    @property
+    def span_end(self) -> int:
+        return self.end_line if self.end_line >= self.line else self.line
+
+
+_SUPPRESS_RE = re.compile(r"#\s*ripplelint:\s*disable=([A-Z0-9, ]+)")
+
+
+def _scan_comments(source: str) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps string
+    literals and docstrings that merely *mention* a comment marker —
+    like this package's own rule documentation — out of RPL009 and out
+    of the suppression scanner.
+    """
+    comments: list[tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse ran first
+        pass
+    return comments
+
+
+def _logical_package(posix_path: str) -> str:
+    """Path from the ``repro`` package root, or the plain path outside it."""
+    parts = posix_path.split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return posix_path
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file plus the metadata rules need.
+
+    ``package`` is the module's path expressed from the ``repro`` package
+    root (e.g. ``repro/net/eventsim.py``) so that rule scoping works the
+    same whether the linter scans ``src/``, a single file, or a test
+    fixture tree.  Files outside a ``repro`` package keep their plain
+    relative path.
+    """
+
+    path: str
+    package: str
+    tree: ast.Module
+    comments: list[tuple[int, int, str]]
+    suppressed: dict[int, frozenset[str]]
+
+    @classmethod
+    def from_source(cls, source: str, *, path: str) -> "ParsedModule":
+        tree = ast.parse(source, filename=path)
+        comments = _scan_comments(source)
+        suppressed: dict[int, frozenset[str]] = {}
+        for line, _col, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                suppressed[line] = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip())
+        return cls(path=path, package=_logical_package(path), tree=tree,
+                   comments=comments, suppressed=suppressed)
+
+    @classmethod
+    def parse(cls, path: Path) -> "ParsedModule":
+        return cls.from_source(path.read_text(encoding="utf-8"),
+                               path=path.as_posix())
+
+    @property
+    def module_name(self) -> str | None:
+        """Dotted import name for files under a ``repro`` package root."""
+        if not self.package.startswith("repro/") and self.package != "repro":
+            return None
+        trimmed = self.package[:-3] if self.package.endswith(".py") \
+            else self.package
+        parts = trimmed.split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressed.get(line, frozenset())
+
+    def is_suppressed_span(self, finding: Finding) -> bool:
+        """Whether any line of the flagged statement carries a disable.
+
+        Multi-line statements (wrapped calls, parenthesized conditions)
+        may only have room for the suppression comment on a
+        *continuation* line; honoring the full span keeps the comment
+        next to the construct it excuses.
+        """
+        return any(finding.rule in self.suppressed.get(line, frozenset())
+                   for line in range(finding.line, finding.span_end + 1))
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+#: A checker receives the module under lint plus the whole-program
+#: :class:`Project` when one is available (directory scans); fixture
+#: lints of a bare source string pass ``None`` and rules fall back to
+#: their module-prefix scopes.
+Checker = Callable[[ParsedModule, Optional["Project"]], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lintable invariant: an id, a one-line summary, a checker."""
+
+    id: str
+    summary: str
+    check: Checker
+
+
+#: Statement types whose span, for suppression purposes, is clamped to
+#: the header (a disable comment inside a function/class/loop *body*
+#: must not silence a finding anchored at the header).
+_HEADER_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.For, ast.AsyncFor, ast.While, ast.If, ast.With,
+                 ast.AsyncWith, ast.Try)
+
+
+def finding_at(module: ParsedModule, node: ast.AST, rule: str,
+               message: str) -> Finding:
+    end = getattr(node, "end_lineno", None) or node.lineno
+    body = getattr(node, "body", None)
+    if isinstance(node, _HEADER_STMTS) and body:
+        end = max(node.lineno, body[0].lineno - 1)
+    return Finding(path=module.path, line=node.lineno,
+                   col=node.col_offset + 1, rule=rule, message=message,
+                   end_line=end)
+
+
+# ---------------------------------------------------------------------------
+# Scopes
+# ---------------------------------------------------------------------------
+
+def in_scope(module: ParsedModule, prefixes: tuple[str, ...]) -> bool:
+    return any(module.package == p or module.package.startswith(p + "/")
+               for p in prefixes)
+
+
+#: Where the general-purpose invariants apply: the shipped package plus
+#: the benchmark drivers and repo scripts that feed CI numbers.  A flaky
+#: benchmark corrupts the regression baselines exactly like flaky
+#: library code corrupts answers.
+_SHARED_SCOPE = ("repro", "benchmarks", "tools")
+
+#: Module-prefix fallback for the *simulation* scope: the packages whose
+#: code runs inside a deterministic simulation.  When a whole-program
+#: :class:`Project` is available, :func:`sim_scope` widens this with
+#: everything actually reachable from the simulation entry points
+#: (which pulls in e.g. the reachable half of ``repro/obs``); without
+#: one, the prefix list alone applies — never less.
+SIM_FALLBACK_SCOPE = ("repro/core", "repro/net", "repro/overlays",
+                      "repro/queries", "repro/common")
+
+
+def in_shared_scope(module: ParsedModule,
+                    project: "Project | None") -> bool:
+    """The RPL001/RPL002-style scope: shared prefixes ∪ sim-reachable.
+
+    The union is the monotonicity guarantee: adding the reachability
+    pass can only ever extend where these rules apply, it can never
+    exempt a module the old ``_SHARED_SCOPE`` prefix covered.
+    """
+    if in_scope(module, _SHARED_SCOPE):
+        return True
+    return project is not None and project.module_reachable(module)
+
+
+def sim_scope(module: ParsedModule, line: int,
+              project: "Project | None") -> bool:
+    """Whether ``line`` of ``module`` is simulation code.
+
+    True when the module sits under a :data:`SIM_FALLBACK_SCOPE` prefix,
+    or when the project's call graph proves the line reachable from a
+    simulation entry point.  Prefix-first ordering makes unresolvable
+    call edges harmless: they can only lose the *extra* coverage.
+    """
+    if in_scope(module, SIM_FALLBACK_SCOPE):
+        return True
+    return project is not None and project.line_reachable(module, line)
+
+
+# ---------------------------------------------------------------------------
+# The whole-program project
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Project:
+    """Every parsed module of a ``repro`` package tree, plus derived passes.
+
+    Construction parses only; the symbol table, call graph, and
+    reachability pass materialize lazily on first use so that single-rule
+    fixture runs never pay for them.
+    """
+
+    modules: dict[str, ParsedModule] = field(default_factory=dict)
+    _symbols: "SymbolTable | None" = field(default=None, repr=False)
+    _callgraph: "CallGraph | None" = field(default=None, repr=False)
+    _reachability: "SimReachability | None" = field(default=None, repr=False)
+
+    @classmethod
+    def from_modules(cls, modules: Iterable[ParsedModule]) -> "Project":
+        project = cls()
+        for module in modules:
+            name = module.module_name
+            if name is not None:
+                project.modules[name] = module
+        return project
+
+    @classmethod
+    def discover(cls, files: Iterable[Path]) -> "Project":
+        """Parse the full ``repro`` tree(s) enclosing the given files.
+
+        A ``--changed``-scoped or single-file lint still analyzes the
+        whole program: findings are reported only for the requested
+        files, but reachability is judged over everything the enclosing
+        ``repro`` package contains.
+        """
+        roots: set[Path] = set()
+        for file in files:
+            parts = file.resolve().parts
+            if "repro" in parts:
+                index = len(parts) - 1 - parts[::-1].index("repro")
+                roots.add(Path(*parts[:index + 1]))
+        modules: list[ParsedModule] = []
+        for root in sorted(roots):
+            for path in sorted(root.rglob("*.py")):
+                if "egg-info" in path.as_posix():
+                    continue
+                try:
+                    modules.append(ParsedModule.parse(path))
+                except SyntaxError:
+                    continue  # unparsable files surface via lint_paths
+        return cls.from_modules(modules)
+
+    @property
+    def symbols(self) -> "SymbolTable":
+        if self._symbols is None:
+            from .symbols import SymbolTable
+            self._symbols = SymbolTable.build(self)
+        return self._symbols
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        if self._callgraph is None:
+            from .callgraph import CallGraph
+            self._callgraph = CallGraph.build(self.symbols)
+        return self._callgraph
+
+    @property
+    def reachability(self) -> "SimReachability":
+        if self._reachability is None:
+            from .reachability import SimReachability
+            self._reachability = SimReachability.build(self.callgraph)
+        return self._reachability
+
+    # -- scope queries (consumed via in_shared_scope / sim_scope) ----------
+
+    def module_reachable(self, module: ParsedModule) -> bool:
+        name = module.module_name
+        return name is not None and self.reachability.module_reachable(name)
+
+    def line_reachable(self, module: ParsedModule, line: int) -> bool:
+        name = module.module_name
+        return name is not None and self.reachability.line_reachable(name,
+                                                                     line)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def _default_rules() -> "Sequence[Rule]":
+    from .rules import RULES  # late: rules modules import this engine
+    return RULES
+
+
+def lint_module(module: ParsedModule, rules: Sequence[Rule] | None = None,
+                project: "Project | None" = None) -> list[Finding]:
+    """All unsuppressed findings for one parsed module."""
+    findings = []
+    for rule in rules if rules is not None else _default_rules():
+        for finding in rule.check(module, project):
+            if not module.is_suppressed_span(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_source(source: str, *, virtual_path: str,
+                rules: Sequence[Rule] | None = None,
+                project: "Project | None" = None) -> list[Finding]:
+    """Lint a source string as though it lived at ``virtual_path``.
+
+    The test-suite's fixture entry point: ``virtual_path`` determines
+    rule scoping exactly like a real file path would.  Without a
+    ``project``, the whole-program rules apply their module-prefix
+    fallback scopes.
+    """
+    return lint_module(ParsedModule.from_source(source, path=virtual_path),
+                       rules, project)
+
+
+def _is_python_script(path: Path) -> bool:
+    """Extensionless executables with a python shebang (``tools/ripplelint``)."""
+    if path.suffix or not path.is_file():
+        return False
+    try:
+        with path.open("rb") as fh:
+            first = fh.readline(128)
+    except OSError:  # unreadable special file; not lintable anyway
+        return False
+    return first.startswith(b"#!") and b"python" in first
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            scripts = (p for p in path.rglob("*") if _is_python_script(p))
+            yield from sorted({*path.rglob("*.py"), *scripts})
+        elif path.suffix == ".py" or _is_python_script(path):
+            yield path
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint files/directories with whole-program analysis attached.
+
+    The project is discovered from the scanned files' enclosing
+    ``repro`` trees, so even a one-file invocation gets call-graph-aware
+    scoping judged over the full program.
+    """
+    files = [path for path in iter_python_files(paths)
+             if "egg-info" not in path.as_posix()]
+    project = Project.discover(files)
+    cache = {Path(m.path).resolve().as_posix(): m
+             for m in project.modules.values()}
+    findings: list[Finding] = []
+    for path in files:
+        cached = cache.get(path.resolve().as_posix())
+        # Findings must carry the caller's spelling of the path (CI
+        # passes relative paths so --format github annotates the diff),
+        # so the project's absolute parse is reused only when it agrees.
+        if cached is not None and cached.path == path.as_posix():
+            module = cached
+        else:
+            module = ParsedModule.parse(path)
+        findings.extend(lint_module(module, rules, project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

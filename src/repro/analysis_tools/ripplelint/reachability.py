@@ -1,0 +1,125 @@
+"""Sim-reachability: which code can run inside a deterministic simulation.
+
+The determinism rules used to scope themselves by module-name prefix
+(``repro/core``, ``repro/net``, ...).  That heuristic is a *directory*
+property; the guarantee it protects — bit-identical replay — is a
+*call-graph* property: a helper in ``repro/common`` is harmless until an
+engine path starts calling it, and a function in ``repro/obs`` is
+sim-critical the moment the framework invokes it through a sink.
+
+This pass roots the conservative call graph at the simulation entry
+points (:data:`ENTRY_POINTS`: the three engines, the batched wavefront
+engine, the query engine's submission surface, the workload driver, and
+the seeded query drivers) and closes over "may call".  The resulting
+set of functions, line spans, and modules is what
+:func:`repro.analysis_tools.ripplelint.engine.sim_scope` unions with the
+module-prefix fallback — reachability strictly *extends* the historical
+scope, it never shrinks it, so unresolvable call edges (dynamic dispatch
+the graph cannot follow) only cost extra coverage, never soundness
+relative to the old behavior.
+
+Module-level statements of a module containing any reachable function
+count as reachable too: importing the module executes them, and sim code
+imports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph
+
+__all__ = ["ENTRY_POINTS", "SimReachability"]
+
+#: Simulation entry-point roots, as symbol-table qualnames.  Every name
+#: listed here must resolve in the real repo — ``missing_roots`` on the
+#: built pass reports any that do not (and the test-suite pins it empty),
+#: so a rename cannot silently detach the analysis from an engine.
+ENTRY_POINTS: tuple[str, ...] = (
+    # The three scalar engines (Algorithms 1-3 + supervised variants).
+    "repro.core.framework.run_ripple",
+    "repro.core.framework.run_fast",
+    "repro.core.framework.run_slow",
+    "repro.core.framework.execute",
+    "repro.net.eventsim.event_driven_ripple",
+    "repro.net.faults.resilient_ripple",
+    # The batched wavefront engine over the SoA arena.
+    "repro.overlays.arena.wavefront_execute",
+    "repro.overlays.arena.run_wavefront",
+    # The concurrent multi-query engine's submission surface.
+    "repro.net.scheduler.QueryEngine.submit",
+    "repro.net.scheduler.QueryEngine.submit_at",
+    "repro.net.scheduler.QueryEngine.run",
+    "repro.net.workload.run_workload",
+    # Seeded query drivers (route -> probe -> ripple).
+    "repro.queries.drivers.run_seeded",
+    "repro.queries.topk.distributed_topk",
+    "repro.queries.skyline.distributed_skyline",
+    "repro.queries.diversify.greedy_diversify",
+)
+
+#: Modules never treated as sim-reachable even if the receiver-blind
+#: method resolution finds a name collision into them: the linter
+#: analyzes simulations, it does not run inside one.  (RPL001/002/006/
+#: 009 still bind it through the shared module-prefix scope.)
+_EXCLUDED_PREFIXES = ("repro.analysis_tools",)
+
+
+@dataclass
+class SimReachability:
+    """Reachable qualnames + per-module line spans, rooted at the engines."""
+
+    callgraph: CallGraph
+    roots: tuple[str, ...] = ENTRY_POINTS
+    reachable: set[str] = field(default_factory=set)
+    missing_roots: tuple[str, ...] = ()
+    #: module dotted name -> sorted (lo, hi) line spans of reachable code
+    spans: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, callgraph: CallGraph,
+              roots: tuple[str, ...] = ENTRY_POINTS) -> "SimReachability":
+        functions = callgraph.symbols.functions
+        present = {root for root in roots if root in functions}
+        pass_ = cls(callgraph=callgraph, roots=roots,
+                    missing_roots=tuple(sorted(set(roots) - present)))
+        pass_.reachable = {
+            qualname for qualname in callgraph.reachable_from(present)
+            if not qualname.startswith(_EXCLUDED_PREFIXES)}
+        for qualname in pass_.reachable:
+            info = functions[qualname]
+            pass_.spans.setdefault(info.module, []).append(info.span)
+        for module in pass_.spans:
+            pass_.spans[module].sort()
+        return pass_
+
+    def function_reachable(self, qualname: str) -> bool:
+        return qualname in self.reachable
+
+    def module_reachable(self, module_name: str) -> bool:
+        """Whether any function of the module is sim-reachable."""
+        return module_name in self.spans
+
+    def line_reachable(self, module_name: str, line: int) -> bool:
+        """Whether ``line`` is inside reachable code.
+
+        Lines inside a reachable function's span qualify directly;
+        module-level lines (imports, constants) qualify whenever the
+        module holds any reachable function, because importing the
+        module — which sim code does — executes them.
+        """
+        spans = self.spans.get(module_name)
+        if spans is None:
+            return False
+        for lo, hi in spans:
+            if lo <= line <= hi:
+                return True
+        functions = self.callgraph.symbols.functions
+        for info in functions.values():
+            if info.module != module_name:
+                continue
+            lo, hi = info.span
+            if lo <= line <= hi:
+                # Inside a function that is *not* reachable.
+                return False
+        return True  # module-level statement of a reachable module

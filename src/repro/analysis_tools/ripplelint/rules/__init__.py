@@ -1,0 +1,44 @@
+"""The ripplelint rule catalogue.
+
+Each submodule groups related invariants; this package assembles them
+into the ordered :data:`RULES` registry the engine and CLI consume.
+Every checker shares one signature — ``check(module, project)`` — where
+``project`` is the whole-program :class:`~..engine.Project` (or ``None``
+for bare-source fixture lints, in which case rules fall back to their
+module-prefix scopes).
+"""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .determinism import check_rpl001, check_rpl002, check_rpl013
+from .hygiene import (check_rpl006, check_rpl007, check_rpl008,
+                      check_rpl009)
+from .loops import check_rpl011, check_rpl012
+from .protocols import check_rpl004, check_rpl005
+from .storerules import check_rpl003, check_rpl014
+from .tracing import check_rpl010, check_rpl015
+
+__all__ = ["RULES"]
+
+RULES: tuple[Rule, ...] = tuple(
+    Rule(id=rule_id, summary=(checker.__doc__ or "").strip().splitlines()[0],
+         check=checker)
+    for rule_id, checker in [
+        ("RPL001", check_rpl001),
+        ("RPL002", check_rpl002),
+        ("RPL003", check_rpl003),
+        ("RPL004", check_rpl004),
+        ("RPL005", check_rpl005),
+        ("RPL006", check_rpl006),
+        ("RPL007", check_rpl007),
+        ("RPL008", check_rpl008),
+        ("RPL009", check_rpl009),
+        ("RPL010", check_rpl010),
+        ("RPL011", check_rpl011),
+        ("RPL012", check_rpl012),
+        ("RPL013", check_rpl013),
+        ("RPL014", check_rpl014),
+        ("RPL015", check_rpl015),
+    ]
+)

@@ -1,0 +1,250 @@
+"""Hygiene rules: RPL006-RPL009.
+
+General code-health invariants — mutable defaults/bare except, exact
+float comparison in kernels, ``__all__`` discipline, and ``type:
+ignore`` hygiene.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..engine import (Finding, ParsedModule, Project, finding_at, in_scope,
+                      in_shared_scope)
+
+__all__ = ["check_rpl006", "check_rpl007", "check_rpl008", "check_rpl009"]
+
+
+# ---------------------------------------------------------------------------
+# RPL006 -- mutable defaults and bare except
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque",
+                            "defaultdict", "Counter", "OrderedDict"})
+
+
+def check_rpl006(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL006: no mutable default arguments, no bare ``except``.
+
+    A mutable default is shared across every call — per-peer state would
+    leak between simulated peers.  A bare ``except`` swallows
+    ``DuplicateVisitError`` / ``SimulationBudgetExceeded`` and the other
+    loud invariant guards this codebase relies on failing fast.
+    """
+    if not in_shared_scope(module, project):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                               ast.ListComp, ast.DictComp,
+                                               ast.SetComp))
+                if (not mutable and isinstance(default, ast.Call)
+                        and isinstance(default.func, ast.Name)
+                        and default.func.id in _MUTABLE_CALLS):
+                    mutable = True
+                if mutable:
+                    name = getattr(node, "name", "<lambda>")
+                    yield finding_at(
+                        module, default, "RPL006",
+                        f"mutable default argument in '{name}'; default to "
+                        "None (or an immutable sentinel) and materialize "
+                        "inside the function")
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield finding_at(
+                module, node, "RPL006",
+                "bare 'except:' swallows simulator invariant errors; "
+                "catch the narrowest exception type instead")
+
+
+# ---------------------------------------------------------------------------
+# RPL007 -- exact float equality on computed kernel expressions
+# ---------------------------------------------------------------------------
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod,
+              ast.FloorDiv)
+_KERNEL_MODULES = ("repro/common/geometry.py", "repro/common/scoring.py",
+                   "repro/queries")
+
+
+def check_rpl007(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL007: no ``==``/``!=`` against computed floats in kernel modules.
+
+    Coordinates and scores flow through sums, products, and distance
+    computations; comparing such an *expression* exactly collapses or
+    splits skyline/top-k ties depending on rounding (the kernels sort
+    with explicit tie-break keys for the same reason).  Comparing two
+    stored values (names, attributes) exactly is fine — zones tile the
+    domain with shared, bit-identical face coordinates.
+    """
+    if not in_scope(module, _KERNEL_MODULES):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        for operand in (node.left, *node.comparators):
+            if isinstance(operand, ast.BinOp) and \
+                    isinstance(operand.op, _ARITH_OPS):
+                yield finding_at(
+                    module, node, "RPL007",
+                    "exact ==/!= on an arithmetic expression in a kernel "
+                    "module; bind the value first and compare with an "
+                    "explicit tolerance (math.isclose) or restructure")
+                break
+
+
+# ---------------------------------------------------------------------------
+# RPL008 -- __all__ hygiene
+# ---------------------------------------------------------------------------
+
+def _bound_names(tree: ast.Module) -> tuple[set[str], bool]:
+    """Module-level bound names plus whether a PEP 562 __getattr__ exists.
+
+    Walks top-level statements including the branches of module-level
+    ``if``/``try`` blocks (``if TYPE_CHECKING:`` imports bind names for
+    the checker's purposes).
+    """
+    names: set[str] = set()
+    has_getattr = False
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+            if node.name == "__getattr__":
+                has_getattr = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+    return names, has_getattr
+
+
+def _literal_all(tree: ast.Module) -> tuple[ast.AST, list[str]] | None:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            names = [element.value for element in value.elts
+                     if isinstance(element, ast.Constant)
+                     and isinstance(element.value, str)]
+            return node, names
+        return node, []
+    return None
+
+
+def check_rpl008(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL008: ``__all__`` is present in packages and every name resolves.
+
+    ``from repro.X import *`` must surface a deliberate public API:
+    every package ``__init__.py`` needs a docstring and an ``__all__``,
+    and each ``__all__`` entry must be bound at module level (modules
+    serving names lazily via a PEP 562 ``__getattr__`` are exempt from
+    the resolution check, not from the presence check).
+    """
+    if not in_scope(module, ("repro",)):
+        return
+    declared = _literal_all(module.tree)
+    is_package = module.package.endswith("__init__.py")
+    if is_package:
+        if ast.get_docstring(module.tree) is None:
+            yield Finding(path=module.path, line=1, col=1, rule="RPL008",
+                          message="package __init__.py lacks a module "
+                                  "docstring describing its public API")
+        if declared is None:
+            yield Finding(path=module.path, line=1, col=1, rule="RPL008",
+                          message="package __init__.py lacks __all__; "
+                                  "star-imports must be deliberate")
+    if declared is None:
+        return
+    node, names = declared
+    bound, has_getattr = _bound_names(module.tree)
+    if has_getattr:
+        return
+    for name in names:
+        if name not in bound and name != "__version__":
+            yield finding_at(
+                module, node, "RPL008",
+                f"__all__ names '{name}' which is not bound at module "
+                "level; star-imports of this module would fail")
+
+
+# ---------------------------------------------------------------------------
+# RPL009 -- type: ignore hygiene
+# ---------------------------------------------------------------------------
+
+_IGNORE_RE = re.compile(r"#\s*type:\s*ignore(?P<codes>\[[^\]]*\])?"
+                        r"(?P<trailer>.*)$")
+
+
+def check_rpl009(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL009: ``# type: ignore`` must be narrow and carry a justification.
+
+    A blanket ignore suppresses every current and future error on the
+    line; an unexplained one rots.  Required shape::
+
+        x = f(y)  # type: ignore[arg-type]  # knobs forwarded verbatim
+
+    i.e. an explicit error-code list plus a trailing comment saying why
+    the checker is wrong (or why the dynamic idiom is intentional).
+    """
+    if not in_shared_scope(module, project):
+        return
+    for number, col, text in module.comments:
+        match = _IGNORE_RE.search(text)
+        if match is None:
+            continue
+        if not match.group("codes"):
+            yield Finding(
+                path=module.path, line=number, col=col + match.start() + 1,
+                rule="RPL009",
+                message="blanket '# type: ignore' suppresses every error "
+                        "on the line; use '# type: ignore[code]' plus a "
+                        "justification comment")
+            continue
+        trailer = match.group("trailer").strip()
+        if not trailer.startswith("#") or len(trailer.lstrip("# ")) < 3:
+            yield Finding(
+                path=module.path, line=number, col=col + match.start() + 1,
+                rule="RPL009",
+                message="'# type: ignore[...]' without a justification; "
+                        "append '  # <why the checker is wrong here>'")

@@ -1,0 +1,169 @@
+"""Loop rules: RPL011 (bounded retry loops), RPL012 (arena vectorization).
+
+Both are liveness/scale invariants about iteration itself: every retry
+pump must provably terminate, and the arena substrate must never regrow
+per-peer Python loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import (Finding, ParsedModule, Project, finding_at, in_scope)
+
+__all__ = ["check_rpl011", "check_rpl012"]
+
+
+# ---------------------------------------------------------------------------
+# RPL011 -- unbounded loops on retry/queue paths
+# ---------------------------------------------------------------------------
+
+#: Name fragments that mark a loop as explicitly bounded.  Matching is
+#: substring-on-lowercase, so ``max_events``, ``self.capacity``,
+#: ``retries_left``, and ``watchdog`` all qualify.
+_BOUND_TOKENS = ("max", "budget", "cap", "deadline", "limit", "tries",
+                 "attempt", "bound", "watchdog")
+
+
+def _mentions_bound(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        else:
+            continue
+        lowered = name.lower()
+        if any(token in lowered for token in _BOUND_TOKENS):
+            return True
+    return False
+
+
+def check_rpl011(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL011: retry/queue loops in ``repro/net`` carry an explicit bound.
+
+    The simulator's event pump, the scheduler's admission drain, and the
+    fault layer's retry machinery are exactly the places where an
+    unbounded ``while`` turns one lost ack into a hang that no deadline
+    can interrupt — the concurrency layer's liveness rests on every such
+    loop being cut off by *something*.  A ``while`` loop passes when its
+    condition compares against a value (``ast.Compare``, e.g.
+    ``while visited < max_peers``) or when the loop mentions a bound by
+    name anywhere in its test or body (an identifier or attribute
+    containing one of max/budget/cap/deadline/limit/tries/attempt/bound/
+    watchdog, e.g. the event pump consuming ``cap``).  A bare
+    ``while True:`` pump with neither has no exit story and is flagged.
+    """
+    if not in_scope(module, ("repro/net",)):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.While):
+            continue
+        if any(isinstance(part, ast.Compare)
+               for part in ast.walk(node.test)):
+            continue
+        if _mentions_bound(node):
+            continue
+        yield finding_at(
+            module, node, "RPL011",
+            "unbounded 'while' on a retry/queue path; compare the loop "
+            "condition against a limit or reference an explicit bound "
+            "(max_*/cap/budget/deadline/limit/tries) so the loop "
+            "provably terminates")
+
+
+# ---------------------------------------------------------------------------
+# RPL012 -- arena modules stay vectorized
+# ---------------------------------------------------------------------------
+
+#: The structure-of-arrays substrate: these modules exist so that no
+#: per-peer Python object or loop stands between a query and the flat
+#: arrays.  The mirror *builder* inherently walks the object peers once;
+#: its loops carry per-line suppressions rather than a scope exemption,
+#: so every new loop is a conscious decision.
+_ARENA_MODULES = ("repro/overlays/arena.py", "repro/overlays/arena_build.py")
+
+#: Identifiers that denote "the whole peer range" when iterated.
+_PEER_RANGE_NAMES = frozenset({"peers", "n_peers", "num_peers",
+                               "peer_count"})
+
+
+def _is_object_dtype(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id == "object":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in ("object_", "object"):
+        return True
+    return isinstance(node, ast.Constant) and node.value in ("object", "O")
+
+
+def _iterates_peer_range(expr: ast.AST) -> bool:
+    """True when a loop iterable mentions the peer range: a ``.peers()``
+    call, or an identifier like ``peers``/``n_peers`` (also inside
+    ``range(...)``/``enumerate(...)`` wrappers)."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            if isinstance(callee, ast.Attribute) and callee.attr == "peers":
+                return True
+            if isinstance(callee, ast.Name) and callee.id == "peers":
+                return True
+        if isinstance(sub, ast.Name) and sub.id in _PEER_RANGE_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _PEER_RANGE_NAMES:
+            return True
+    return False
+
+
+def check_rpl012(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL012: arena modules hold no object arrays and no per-peer loops.
+
+    The arena substrate's entire value is that per-peer state lives in
+    flat *typed* NumPy arrays operated on wholesale: a ``dtype=object``
+    array silently reintroduces one Python object per peer (boxing,
+    pointer-chasing, no vectorized kernels), and a Python ``for`` loop
+    or comprehension over the peer range reintroduces the O(n)
+    interpreter cost the arena exists to remove — harmless at 200 peers,
+    fatal at 1M.  Flags ``dtype=object`` (including ``np.object_``,
+    ``"object"``/``"O"`` strings, and ``.astype(object)``) anywhere in
+    an arena module, and any ``for``/comprehension whose iterable
+    mentions the peer range (a ``.peers()`` call or a
+    ``peers``/``n_peers``-style identifier, bare or inside
+    ``range``/``enumerate``).  The mirror builder's one-time snapshot
+    walk carries per-line suppressions — the loop is the documented
+    exception, not the default.
+    """
+    if not in_scope(module, _ARENA_MODULES):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg == "dtype" \
+                        and _is_object_dtype(keyword.value):
+                    yield finding_at(
+                        module, node, "RPL012",
+                        "dtype=object defeats the arena's flat typed "
+                        "layout; use a numeric dtype (encode ragged data "
+                        "as CSR offsets + a flat payload)")
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "astype" and node.args \
+                    and _is_object_dtype(node.args[0]):
+                yield finding_at(
+                    module, node, "RPL012",
+                    "astype(object) defeats the arena's flat typed "
+                    "layout; keep the array numeric")
+        iterables: list[ast.AST] = []
+        if isinstance(node, ast.For):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iterables.extend(comp.iter for comp in node.generators)
+        if any(_iterates_peer_range(it) for it in iterables):
+            yield finding_at(
+                module, node, "RPL012",
+                "Python-level loop over the peer range inside an arena "
+                "module; express this as a vectorized kernel over the "
+                "flat arrays (or suppress per line if the walk is a "
+                "one-time snapshot of an object overlay)")

@@ -1,0 +1,187 @@
+"""Protocol rules: RPL004 (handler surface), RPL005 (replication contract).
+
+Both check, at parse time, protocol conformance that the simulators only
+exercise dynamically — deep inside a query, possibly behind a fault
+plan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted, method_arity
+from ..engine import (Finding, ParsedModule, Project, finding_at, in_scope,
+                      in_shared_scope)
+
+__all__ = ["check_rpl004", "check_rpl005"]
+
+
+# ---------------------------------------------------------------------------
+# RPL004 -- partial QueryHandler implementations fail at query time
+# ---------------------------------------------------------------------------
+
+#: Required protocol methods -> positional arity excluding ``self``
+#: (see ``repro/core/handler.py``; the table mirrors the paper's six
+#: abstract functions plus ``finalize``).
+_HANDLER_REQUIRED = {
+    "initial_state": 0,
+    "compute_local_state": 2,
+    "compute_global_state": 2,
+    "update_local_state": 1,
+    "compute_local_answer": 2,
+    "is_link_relevant": 2,
+    "link_priority": 1,
+    "finalize": 1,
+}
+#: Optional hooks with defaults in the ABC -> expected arity.
+_HANDLER_OPTIONAL = {
+    "neutral_local_state": 0,
+    "seed_satisfied": 1,
+    "probe_score": 1,
+    "answer_size": 1,
+}
+
+
+def _is_abstract(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        if dotted(base) in ("ABC", "abc.ABC"):
+            return True
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                if dotted(decorator) in ("abstractmethod",
+                                         "abc.abstractmethod"):
+                    return True
+    return False
+
+
+def check_rpl004(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL004: ``QueryHandler`` subclasses implement the full protocol.
+
+    The RIPPLE templates call the six abstract handler functions (plus
+    ``finalize``) dynamically, so a missing or mis-signatured method only
+    explodes once a query actually reaches it — possibly deep inside a
+    fault-injected simulation.  This rule checks presence and positional
+    arity of every protocol method at parse time.
+    """
+    if not in_shared_scope(module, project):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(dotted(base) in ("QueryHandler", "handler.QueryHandler")
+                   for base in node.bases):
+            continue
+        if _is_abstract(node):
+            continue
+        methods = {item.name: item for item in node.body
+                   if isinstance(item, ast.FunctionDef)}
+        for name, arity in _HANDLER_REQUIRED.items():
+            fn = methods.get(name)
+            if fn is None:
+                yield finding_at(
+                    module, node, "RPL004",
+                    f"handler class '{node.name}' is missing protocol "
+                    f"method '{name}' (see repro/core/handler.py)")
+                continue
+            actual = method_arity(fn)
+            if actual is not None and actual != arity:
+                yield finding_at(
+                    module, fn, "RPL004",
+                    f"handler method '{node.name}.{name}' takes {actual} "
+                    f"positional argument(s), protocol expects {arity}")
+        for name, arity in _HANDLER_OPTIONAL.items():
+            fn = methods.get(name)
+            if fn is None:
+                continue
+            actual = method_arity(fn)
+            if actual is not None and actual != arity:
+                yield finding_at(
+                    module, fn, "RPL004",
+                    f"handler hook '{node.name}.{name}' takes {actual} "
+                    f"positional argument(s), protocol expects {arity}")
+
+
+# ---------------------------------------------------------------------------
+# RPL005 -- replication contract of churn-capable overlays
+# ---------------------------------------------------------------------------
+
+def _class_slots(cls: ast.ClassDef) -> frozenset[str] | None:
+    for node in cls.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__slots__" in targets and isinstance(
+                    node.value, (ast.Tuple, ast.List)):
+                return frozenset(
+                    element.value for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str))
+    return None
+
+
+def check_rpl005(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL005: churn-capable overlays honor the replication contract.
+
+    ``ReplicaDirectory`` can only heal an overlay that (i) exposes
+    ``replica_targets(peer, count)`` for structural replica placement and
+    (ii) whose peers carry ``replicas`` and ``alive`` slots.  Any class
+    that declares a ``physical_id`` (split logical/physical identity)
+    must be fully ``PeerLike`` — ``peer_id``, ``store``, ``links`` — or
+    liveness checks through ``physical_id()`` silently dereference the
+    wrong machine.
+    """
+    if not in_scope(module, ("repro/overlays",)):
+        return
+    classes = [node for node in ast.walk(module.tree)
+               if isinstance(node, ast.ClassDef)]
+    churny = []
+    for cls in classes:
+        methods = {item.name: item for item in cls.body
+                   if isinstance(item, ast.FunctionDef)}
+        if cls.name.endswith("Overlay") and \
+                ("join" in methods or "leave" in methods):
+            churny.append(cls)
+            fn = methods.get("replica_targets")
+            if fn is None:
+                yield finding_at(
+                    module, cls, "RPL005",
+                    f"churn-capable overlay '{cls.name}' does not define "
+                    "replica_targets(peer, count); ReplicaDirectory cannot "
+                    "place copies, so crashed zones are unrecoverable")
+            else:
+                arity = method_arity(fn)
+                if arity is not None and arity != 2:
+                    yield finding_at(
+                        module, fn, "RPL005",
+                        f"'{cls.name}.replica_targets' takes {arity} "
+                        "positional argument(s), the replication contract "
+                        "expects (peer, count)")
+    if churny:
+        for cls in classes:
+            slots = _class_slots(cls)
+            if slots is None or "store" not in slots:
+                continue  # not a peer class
+            for needed in ("replicas", "alive"):
+                if needed not in slots:
+                    yield finding_at(
+                        module, cls, "RPL005",
+                        f"peer class '{cls.name}' lacks the '{needed}' "
+                        "slot required by the replication/fault machinery")
+    for cls in classes:
+        slots = _class_slots(cls)
+        if slots is not None and "physical_id" in slots:
+            methods = {item.name for item in cls.body
+                       if isinstance(item, ast.FunctionDef)}
+            missing = [n for n in ("peer_id", "store")
+                       if n not in slots and n not in methods]
+            if "links" not in methods:
+                missing.append("links")
+            if missing:
+                yield finding_at(
+                    module, cls, "RPL005",
+                    f"class '{cls.name}' declares 'physical_id' but lacks "
+                    f"{missing}; split-identity stand-ins must be fully "
+                    "PeerLike (see repro/overlays/replication.py)")

@@ -1,0 +1,186 @@
+"""Store rules: RPL003 (versioned mutation API), RPL014 (handler purity).
+
+Both protect ``LocalStore``'s invalidation discipline: every mutation
+goes through the versioned API, and the *query plane* — handler code —
+never mutates at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import attr_chain, dotted
+from ..engine import (Finding, ParsedModule, Project, finding_at, in_scope,
+                      in_shared_scope)
+
+__all__ = ["check_rpl003", "check_rpl014"]
+
+
+# ---------------------------------------------------------------------------
+# RPL003 -- out-of-band LocalStore mutation defeats cache invalidation
+# ---------------------------------------------------------------------------
+
+_STORE_FIELDS = frozenset({"_buf", "_size", "_version", "_cache"})
+_STORE_METHODS = frozenset({"_invalidate", "_reserve", "_score_index"})
+_STORE_MODULE = "repro/common/store.py"
+
+
+def check_rpl003(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL003: no access to ``LocalStore`` internals outside the store.
+
+    Every mutation must bump ``LocalStore.version`` (which drops the
+    version-keyed computation cache and invalidates replicas).  Touching
+    ``_buf``/``_size``/``_version``/``_cache`` — or calling the private
+    maintenance methods — from outside ``repro/common/store.py`` bypasses
+    that machinery and silently serves stale cached kernels.
+    """
+    if not in_shared_scope(module, project) \
+            or module.package == _STORE_MODULE:
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _STORE_FIELDS:
+            yield finding_at(
+                module, node, "RPL003",
+                f"access to LocalStore internal '{node.attr}' outside the "
+                "versioned mutation API; use insert/bulk_load/extract/"
+                "take_all (mutation) or array/cached (reads)")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _STORE_METHODS:
+                yield finding_at(
+                    module, node, "RPL003",
+                    f"call to LocalStore private method '{func.attr}()' "
+                    "outside the store; cache consistency is the store's "
+                    "own job")
+
+
+# ---------------------------------------------------------------------------
+# RPL014 -- handler purity: the query plane reads, it never mutates
+# ---------------------------------------------------------------------------
+
+#: The LocalStore mutating API (the *sanctioned* mutation surface that
+#: RPL003 funnels everyone through — and that handlers may not touch at
+#: all: handler code computes over stores, the data plane loads them).
+_STORE_MUTATORS = frozenset({"insert", "bulk_load", "extract", "take_all"})
+
+#: Attribute-chain names that identify simulation infrastructure state.
+_INFRA_NAMES = frozenset({"peer", "peers", "overlay", "store", "links"})
+
+#: Modules exempt from the closure walk: the store mutates itself, and
+#: the overlay constructors/loaders are the data plane that mutation
+#: belongs to.
+_EXEMPT_PREFIXES = ("repro/common/store.py", "repro/overlays")
+
+
+def _mutation_findings(module: ParsedModule, fn: ast.AST,
+                       owner: str) -> Iterator[Finding]:
+    """Peer/overlay/store mutations inside ``fn``, attributed to ``owner``."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _STORE_MUTATORS:
+            chain = attr_chain(node.func)
+            if any(part in _INFRA_NAMES for part in chain[:-1]):
+                yield finding_at(
+                    module, node, "RPL014",
+                    f"{owner} calls LocalStore mutator "
+                    f"'{node.func.attr}()'; handler code computes over "
+                    "stores, only the data plane loads them")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                chain = attr_chain(target)
+                # ``self.k = ...`` is the handler's own state machine;
+                # what it may not do is write *through* simulation
+                # infrastructure (peer.alive, overlay.links, store
+                # internals) reached from any root.
+                if any(part in _INFRA_NAMES for part in chain[:-1]) or \
+                        (chain and chain[0] in _INFRA_NAMES):
+                    yield finding_at(
+                        module, target, "RPL014",
+                        f"{owner} assigns through simulation state "
+                        f"('{'.'.join(chain)}'); handlers must be pure "
+                        "observers of peers, overlays, and stores")
+
+
+def _handler_classes(module: ParsedModule) -> list[ast.ClassDef]:
+    found = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and any(
+                (dotted(base) or "").split(".")[-1] == "QueryHandler"
+                for base in node.bases):
+            found.append(node)
+    return found
+
+
+def _handler_reachable(project: Project) -> set[str]:
+    """Qualnames reachable from any QueryHandler subclass method.
+
+    Cached on the project; computed once per lint run.  The closure is
+    taken over the conservative call graph, so a helper becomes
+    handler-tainted the moment any handler method may call it.
+    """
+    cached = getattr(project, "_handler_reachable", None)
+    if cached is not None:
+        return cached
+    roots = {
+        method.qualname
+        for cls in project.symbols.subclasses_of("QueryHandler")
+        for method in cls.methods.values()}
+    reachable = project.callgraph.reachable_from(roots)
+    setattr(project, "_handler_reachable", reachable)
+    return reachable
+
+
+def check_rpl014(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL014: handler code may not mutate peer, overlay, or store state.
+
+    The RIPPLE decomposition is only correct because handler callbacks
+    are pure functions of ``(state, store)``: the framework may reorder
+    them across peers, replay them against replicas after a fault, and
+    batch them in the arena engine.  A handler that writes through a
+    peer, an overlay, or a store — directly in a method body or in any
+    helper the call graph says a handler method may reach — breaks
+    replay determinism and replica equivalence in ways no golden test
+    pins down.  ``self.…`` assignment is fine (that *is* the handler's
+    state); writing through simulation infrastructure is not.  The store
+    module and the overlay data plane are exempt: loading stores is
+    their job.
+    """
+    if in_scope(module, _EXEMPT_PREFIXES):
+        return
+    emitted: set[tuple[int, int]] = set()
+
+    def _dedup(findings: Iterator[Finding]) -> Iterator[Finding]:
+        for finding in findings:
+            key = (finding.line, finding.col)
+            if key not in emitted:
+                emitted.add(key)
+                yield finding
+
+    for cls in _handler_classes(module):
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from _dedup(_mutation_findings(
+                    module, item, f"handler method '{cls.name}.{item.name}'"))
+    if project is None:
+        return
+    name = module.module_name
+    if name is None:
+        return
+    reachable = _handler_reachable(project)
+    for qualname, info in project.symbols.functions.items():
+        if info.module != name or qualname not in reachable:
+            continue
+        if info.cls is not None:
+            cls_leaf = info.cls.rsplit(".", 1)[-1]
+            owner = f"handler-reachable method '{cls_leaf}.{info.name}'"
+        else:
+            owner = f"handler-reachable function '{info.name}'"
+        yield from _dedup(_mutation_findings(module, info.node, owner))

@@ -1,0 +1,223 @@
+"""Tracing rules: RPL010 (sink passivity), RPL015 (context threading).
+
+Both protect the observability/plumbing contract: sinks observe without
+driving, and the sink/executor/context an entry point was handed is the
+one every hop downstream must see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import chain_root, dotted
+from ..engine import (Finding, ParsedModule, Project, finding_at,
+                      in_shared_scope, sim_scope)
+
+__all__ = ["check_rpl010", "check_rpl015"]
+
+
+# ---------------------------------------------------------------------------
+# RPL010 -- trace sinks observe queries, they never drive them
+# ---------------------------------------------------------------------------
+
+#: The TraceSink protocol surface (see ``repro/obs/trace.py``).
+_SINK_METHODS = frozenset({"begin_span", "end_span", "event", "on_stats"})
+#: Base-class names that mark a class as a sink implementation.
+_SINK_BASES = ("TraceSink", "NullSink", "QueryTrace")
+#: QueryContext methods that mutate query accounting (``net/context.py``).
+_CTX_MUTATORS = frozenset({
+    "begin_processing", "on_forward", "on_response", "on_answer",
+    "on_timeout", "on_retry", "on_reroute", "on_drop", "on_ack",
+    "on_unreachable", "on_region_recovered", "on_replica_read", "note_time",
+    "on_queue_wait", "cancel",
+})
+#: Methods that mutate a container in place.
+_MUTATING_CALLS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault",
+})
+
+
+def _is_sink_class(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        path = dotted(base)
+        if path is not None and path.split(".")[-1].endswith(_SINK_BASES):
+            return True
+    defined = {item.name for item in cls.body
+               if isinstance(item, ast.FunctionDef)}
+    return len(defined & _SINK_METHODS) >= 2
+
+
+def check_rpl010(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL010: trace-sink overrides must not mutate ``QueryContext`` state.
+
+    The observability layer is passive by contract: with any sink
+    attached, answers and ``QueryStats`` stay bit-identical to a
+    ``NullSink`` run (the zero-overhead guarantee, property-tested in
+    ``tests/obs``).  A sink method that calls a ``QueryContext`` counter
+    mutator — or writes through any object handed to it — silently skews
+    the very statistics the trace is supposed to reproduce.  Flagged
+    inside ``begin_span``/``end_span``/``event``/``on_stats`` overrides:
+    calls to context mutators, attribute/item assignment rooted at a
+    method parameter, and in-place container mutation of a parameter.
+    """
+    if not in_shared_scope(module, project):
+        return
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef) or not _is_sink_class(cls):
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, ast.FunctionDef) or \
+                    fn.name not in _SINK_METHODS:
+                continue
+            params = {arg.arg for arg in (*fn.args.posonlyargs,
+                                          *fn.args.args,
+                                          *fn.args.kwonlyargs)}
+            params.discard("self")
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute):
+                    attr = node.func.attr
+                    root = chain_root(node.func.value)
+                    if attr in _CTX_MUTATORS:
+                        yield finding_at(
+                            module, node, "RPL010",
+                            f"sink method '{cls.name}.{fn.name}' calls "
+                            f"QueryContext mutator '{attr}()'; sinks "
+                            "observe queries, they must never drive the "
+                            "accounting they record")
+                    elif attr in _MUTATING_CALLS and root in params:
+                        yield finding_at(
+                            module, node, "RPL010",
+                            f"sink method '{cls.name}.{fn.name}' mutates "
+                            f"parameter '{root}' via '.{attr}()'; record a "
+                            "copy instead of editing shared query state")
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) \
+                        else [node.target]
+                    for target in targets:
+                        if not isinstance(target, (ast.Attribute,
+                                                   ast.Subscript)):
+                            continue
+                        root = chain_root(target)
+                        if root in params:
+                            yield finding_at(
+                                module, target, "RPL010",
+                                f"sink method '{cls.name}.{fn.name}' "
+                                f"assigns through parameter '{root}'; "
+                                "sinks must treat recorded objects as "
+                                "read-only")
+
+
+# ---------------------------------------------------------------------------
+# RPL015 -- context threading: forward the object you were handed
+# ---------------------------------------------------------------------------
+
+#: Parameters that thread one-per-query plumbing through the call tree.
+#: A function that accepts one of these owes every downstream hop the
+#: *same* object: the sink accumulates the trace, the executor carries
+#: the batching/backpressure policy, the context carries the budget and
+#: the visited/processed accounting.
+_THREAD_PARAMS = ("sink", "executor", "ctx", "context")
+
+
+def _function_thread_params(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    args = fn.args
+    names = {a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)}
+    return frozenset(names & set(_THREAD_PARAMS))
+
+
+def _resolve_plain_function(module: ParsedModule, project: Project,
+                            call: ast.Call):
+    """The project-level *top-level function* a call resolves to, or None.
+
+    Only precise resolutions count (bare names through the import
+    resolver, module-alias dotted chains); receiver-blind method fan-out
+    is far too coarse to reason about parameter positions.
+    """
+    name = module.module_name
+    if name is None:
+        return None
+    symbols = project.symbols
+    if isinstance(call.func, ast.Name):
+        resolved = symbols.resolve_name(name, call.func.id)
+    elif isinstance(call.func, ast.Attribute):
+        path = dotted(call.func)
+        resolved = symbols.resolve_dotted(name, path) if path else None
+    else:
+        return None
+    if resolved is None:
+        return None
+    info = symbols.functions.get(resolved)
+    if info is None or info.cls is not None:
+        return None
+    return info
+
+
+def check_rpl015(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL015: thread the sink/executor/context you were handed — all the way.
+
+    Two failure shapes, both of which produce runs that *work* but lie:
+
+    * **Fresh construction**: a function that accepts ``sink=``/
+      ``executor=``/``ctx=`` passes a *newly constructed* object
+      (``sink=NullSink()``, ``ctx=QueryContext(...)``) downstream.  The
+      caller's trace silently loses every hop below that point, or the
+      budget accounting forks into two contexts that each stay under a
+      limit the combined query exceeds.
+    * **Dropped threading** (whole-program): a call resolves to a
+      project function that accepts the same threading parameter the
+      caller holds, and the call passes it neither by keyword nor
+      positionally.  The callee's default (``sink=None`` → ``NullSink``)
+      kicks in and the plumbing quietly ends there.
+
+    Scoped to simulation code (prefix fallback ∪ call-graph
+    reachability).  Forwarding expressions (``sink=sink``,
+    ``sink=sink or child_sink``) and explicit defaulting *statements*
+    (``sink = sink if sink is not None else NullSink()``) are all fine —
+    only a construction at the call site and a silent drop are flagged.
+    """
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        held = _function_thread_params(fn)
+        if not held:
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call) or \
+                    not sim_scope(module, node.lineno, project):
+                continue
+            passed_kw = {kw.arg for kw in node.keywords if kw.arg}
+            has_kwargs_spread = any(kw.arg is None for kw in node.keywords)
+            has_star_args = any(isinstance(a, ast.Starred)
+                                for a in node.args)
+            for kw in node.keywords:
+                if kw.arg in held and isinstance(kw.value, ast.Call):
+                    yield finding_at(
+                        module, node, "RPL015",
+                        f"'{fn.name}' accepts '{kw.arg}' but passes a "
+                        f"freshly constructed object as '{kw.arg}=' "
+                        "downstream; forward the caller's object so the "
+                        "trace/budget stays one query's")
+            if project is None or has_kwargs_spread or has_star_args:
+                continue
+            callee = _resolve_plain_function(module, project, node)
+            if callee is None:
+                continue
+            callee_params = callee.param_names()
+            for param in held:
+                if param not in callee_params or param in passed_kw:
+                    continue
+                if callee_params.index(param) < len(node.args):
+                    continue  # covered positionally
+                yield finding_at(
+                    module, node, "RPL015",
+                    f"'{fn.name}' holds '{param}' but calls "
+                    f"'{callee.name}' (which accepts '{param}') without "
+                    f"forwarding it; the callee's default silently drops "
+                    "the threading — pass it through explicitly")

@@ -1,0 +1,263 @@
+"""Symbol table and import resolver for the ``repro`` package tree.
+
+Maps names to definitions across the whole program so the call graph
+(:mod:`.callgraph`) can resolve ``Name`` calls through import chains and
+method calls through the class inventory:
+
+* every top-level function and every class method gets a *qualname*
+  (``repro.net.scheduler.QueryEngine.submit``) and a line span;
+* every module gets an import map (local alias -> dotted target), with
+  relative imports resolved against the module's own dotted name;
+* classes record their base-name spellings so protocol/ABC hierarchies
+  (``QueryHandler``, ``TraceSink`` and friends) can be walked
+  transitively;
+* a bare-name method index (``compute_local_state`` -> every method so
+  named) backs the conservative receiver-blind resolution of attribute
+  calls.
+
+Nested functions are folded into their enclosing top-level function or
+method: reachability is judged at that granularity, which over-counts
+(a reachable function makes its inner helpers reachable) — the safe
+direction for a checker whose scope must only ever grow.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .engine import ParsedModule, Project
+
+__all__ = ["ClassInfo", "FunctionInfo", "SymbolTable"]
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or class method."""
+
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return (self.node.lineno,
+                self.node.end_lineno or self.node.lineno)
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        return [a.arg for a in (*args.posonlyargs, *args.args,
+                                *args.kwonlyargs)]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods plus base-name spellings."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class SymbolTable:
+    """Project-wide name -> definition maps (see the module docstring)."""
+
+    project: Project
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module dotted name -> {local alias: dotted target}
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: bare method name -> qualnames of every method so named
+    method_index: dict[str, set[str]] = field(default_factory=dict)
+    #: bare class name -> qualnames of every class so named
+    class_index: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, project: Project) -> "SymbolTable":
+        table = cls(project=project)
+        for module_name, module in project.modules.items():
+            table._index_module(module_name, module)
+        return table
+
+    # -- construction ------------------------------------------------------
+
+    def _index_module(self, module_name: str, module: ParsedModule) -> None:
+        imports: dict[str, str] = {}
+        self.imports[module_name] = imports
+        for node in module.tree.body:
+            self._index_statement(module_name, node, imports)
+
+    def _index_statement(self, module_name: str, node: ast.stmt,
+                         imports: dict[str, str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(qualname=f"{module_name}.{node.name}",
+                                module=module_name, node=node)
+            self.functions[info.qualname] = info
+        elif isinstance(node, ast.ClassDef):
+            self._index_class(module_name, node)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = self._resolve_from(module_name, node)
+            if base is None:
+                return
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING guards and optional-dependency try blocks
+            # still bind names the resolver must know about.
+            bodies: list[list[ast.stmt]] = [getattr(node, "body", [])]
+            bodies.append(getattr(node, "orelse", []))
+            bodies.append(getattr(node, "finalbody", []))
+            for handler in getattr(node, "handlers", []):
+                bodies.append(handler.body)
+            for body in bodies:
+                for child in body:
+                    self._index_statement(module_name, child, imports)
+
+    def _index_class(self, module_name: str, node: ast.ClassDef) -> None:
+        from .astutil import dotted
+        qualname = f"{module_name}.{node.name}"
+        info = ClassInfo(qualname=qualname, module=module_name, node=node,
+                         bases=[d for d in (dotted(b) for b in node.bases)
+                                if d is not None])
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    qualname=f"{qualname}.{item.name}",
+                    module=module_name, node=item, cls=qualname)
+                info.methods[item.name] = method
+                self.functions[method.qualname] = method
+                self.method_index.setdefault(item.name, set()).add(
+                    method.qualname)
+        self.classes[qualname] = info
+        self.class_index.setdefault(node.name, set()).add(qualname)
+
+    def _resolve_from(self, module_name: str,
+                      node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        parts = module_name.split(".")
+        # ``from .x import y`` inside a module drops the module's own
+        # leaf; inside a package __init__ the dotted name *is* the
+        # package, which ``module_name`` already reflects.
+        anchor = parts[:-node.level] if not self._is_package(module_name) \
+            else parts[:len(parts) - node.level + 1]
+        if not anchor:
+            return node.module
+        if node.module:
+            return ".".join(anchor + [node.module])
+        return ".".join(anchor)
+
+    def _is_package(self, module_name: str) -> bool:
+        module = self.project.modules.get(module_name)
+        return module is not None and \
+            module.package.endswith("__init__.py")
+
+    # -- queries -----------------------------------------------------------
+
+    def resolve_name(self, module_name: str, name: str,
+                     _depth: int = 0) -> str | None:
+        """Resolve a bare name used in ``module_name`` to a qualname.
+
+        Follows import chains (including re-exports through package
+        ``__init__`` modules) up to a small fixed depth; returns the
+        qualname of a project function or class, or None when the name
+        leaves the project (stdlib, numpy) or cannot be resolved.
+        """
+        if _depth > 8:
+            return None
+        direct = f"{module_name}.{name}"
+        if direct in self.functions or direct in self.classes:
+            return direct
+        target = self.imports.get(module_name, {}).get(name)
+        if target is None:
+            return None
+        if target in self.functions or target in self.classes:
+            return target
+        if target in self.project.modules:
+            return target  # a module alias; attribute access resolves later
+        owner, _, leaf = target.rpartition(".")
+        if owner and owner in self.project.modules:
+            return self.resolve_name(owner, leaf, _depth + 1)
+        return None
+
+    def resolve_dotted(self, module_name: str, path: str) -> str | None:
+        """Resolve ``alias.attr...`` used in ``module_name``.
+
+        Handles module-alias chains (``framework.execute``) and
+        class-attribute chains (``QueryEngine.submit``).
+        """
+        first, _, rest = path.partition(".")
+        base = self.resolve_name(module_name, first)
+        if base is None:
+            return None
+        while rest:
+            head, _, rest = rest.partition(".")
+            if base in self.project.modules:
+                base = self.resolve_name(base, head)
+                if base is None:
+                    return None
+            elif base in self.classes:
+                method = self.classes[base].methods.get(head)
+                if method is None:
+                    return None
+                base = method.qualname
+            else:
+                return None
+        return base
+
+    def subclasses_of(self, base_name: str) -> list[ClassInfo]:
+        """Every project class whose ancestry names ``base_name``.
+
+        Base matching is by trailing spelling (``QueryHandler`` matches
+        ``handler.QueryHandler``), walked transitively through the
+        project class inventory — the conservative protocol-hierarchy
+        walk the whole-program rules rely on.
+        """
+        matching: set[str] = set()
+        changed = True
+        bounded = 0
+        while changed and bounded <= len(self.classes):
+            changed = False
+            bounded += 1
+            for qualname, info in self.classes.items():
+                if qualname in matching:
+                    continue
+                for base in info.bases:
+                    leaf = base.split(".")[-1]
+                    if leaf == base_name:
+                        matching.add(qualname)
+                        changed = True
+                        break
+                    resolved = self.resolve_dotted(info.module, base)
+                    if resolved in matching:
+                        matching.add(qualname)
+                        changed = True
+                        break
+        return [self.classes[q] for q in sorted(matching)]
+
+    def function_at(self, module_name: str,
+                    line: int) -> FunctionInfo | None:
+        """The top-level function/method whose span contains ``line``."""
+        best: FunctionInfo | None = None
+        for info in self.functions.values():
+            if info.module != module_name:
+                continue
+            lo, hi = info.span
+            if lo <= line <= hi:
+                if best is None or lo > best.span[0]:
+                    best = info
+        return best

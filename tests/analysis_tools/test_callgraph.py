@@ -1,0 +1,203 @@
+"""Tests for the whole-program pipeline: symbols, call graph, reachability.
+
+The contract under test is *monotone scoping*: the reachability pass may
+only ever widen where the determinism rules apply relative to the old
+module-prefix heuristic — never narrow it — and unresolvable call edges
+(dynamic dispatch the graph cannot follow) must degrade to exactly the
+old prefix behavior.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis_tools.ripplelint import ENTRY_POINTS, ParsedModule, Project
+from repro.analysis_tools.ripplelint.engine import (
+    SIM_FALLBACK_SCOPE, _SHARED_SCOPE, in_scope, in_shared_scope, sim_scope)
+from repro.analysis_tools.ripplelint.reachability import SimReachability
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def project_from(sources):
+    """A Project built from ``{virtual_path: source}`` fixture modules."""
+    return Project.from_modules(
+        ParsedModule.from_source(text, path=path)
+        for path, text in sources.items())
+
+
+@pytest.fixture(scope="module")
+def repo_project():
+    return Project.discover([REPO / "src" / "repro" / "core" / "framework.py"])
+
+
+# -- entry points ----------------------------------------------------------
+
+
+class TestEntryPoints:
+    def test_every_entry_point_resolves_in_the_repo(self, repo_project):
+        # A rename of run_ripple/wavefront_execute/QueryEngine.submit must
+        # not silently detach the analysis from an engine.
+        assert repo_project.reachability.missing_roots == ()
+
+    def test_linter_is_never_sim_reachable(self, repo_project):
+        reachable = repo_project.reachability.reachable
+        assert not any(q.startswith("repro.analysis_tools")
+                       for q in reachable)
+
+
+# -- golden reachable sets per root ----------------------------------------
+
+
+#: Per-root members the conservative graph must keep finding: the
+#: framework recursion, the dynamically dispatched handler protocol, the
+#: store read API, and the context accounting reached through tracing.
+_GOLDEN = {
+    "repro.core.framework.run_ripple": (
+        "repro.core.framework.execute",
+        "repro.core.handler.QueryHandler.compute_local_state",
+        "repro.common.store.LocalStore.top_scoring",
+        "repro.net.context.QueryContext.on_forward",
+    ),
+    "repro.net.scheduler.QueryEngine.submit": (
+        "repro.core.handler.QueryHandler.compute_local_state",
+        "repro.common.store.LocalStore.top_scoring",
+        "repro.net.context.QueryContext.on_forward",
+    ),
+    "repro.overlays.arena.wavefront_execute": (
+        "repro.core.framework.execute",
+        "repro.core.handler.QueryHandler.compute_local_state",
+        "repro.common.store.LocalStore.top_scoring",
+    ),
+}
+
+
+class TestGoldenReachability:
+    @pytest.mark.parametrize("root", sorted(_GOLDEN))
+    def test_root_reaches_golden_members(self, repo_project, root):
+        reachable = repo_project.callgraph.reachable_from({root})
+        missing = [q for q in _GOLDEN[root] if q not in reachable]
+        assert missing == [], f"{root} lost edges to {missing}"
+
+    def test_union_of_roots_is_the_sim_scope(self, repo_project):
+        pass_ = repo_project.reachability
+        union = repo_project.callgraph.reachable_from(set(pass_.roots))
+        assert pass_.reachable <= union
+
+
+# -- cycles ----------------------------------------------------------------
+
+
+class TestCycles:
+    def test_mutual_recursion_terminates_and_closes(self):
+        project = project_from({
+            "src/repro/net/cyc.py": (
+                "def ping(n):\n"
+                "    return pong(n - 1)\n"
+                "def pong(n):\n"
+                "    return ping(n - 1)\n"
+                "def solo():\n"
+                "    return 0\n"),
+        })
+        reachable = project.callgraph.reachable_from({"repro.net.cyc.ping"})
+        assert "repro.net.cyc.ping" in reachable
+        assert "repro.net.cyc.pong" in reachable
+        assert "repro.net.cyc.solo" not in reachable
+
+    def test_self_recursion(self):
+        project = project_from({
+            "src/repro/net/rec.py": "def again(n):\n    return again(n)\n",
+        })
+        reachable = project.callgraph.reachable_from({"repro.net.rec.again"})
+        assert reachable == {"repro.net.rec.again"}
+
+
+# -- unresolvable calls degrade to the prefix fallback ---------------------
+
+
+class TestUnresolvableFallback:
+    def test_dynamic_call_is_counted_unresolved(self):
+        project = project_from({
+            "src/repro/net/dyn.py": (
+                "def pump(plugins):\n"
+                "    fn = getattr(plugins, 'step')\n"
+                "    fn()\n"),
+        })
+        assert project.callgraph.has_unresolved("repro.net.dyn.pump")
+
+    def test_prefix_scope_survives_a_fully_opaque_graph(self):
+        # Even when the graph resolves nothing, every module the old
+        # module-prefix heuristic covered is still in scope: the union
+        # semantics make a lost edge cost coverage, never soundness.
+        project = project_from({
+            "src/repro/net/dyn.py": "def pump(f):\n    f()\n",
+            "src/repro/queries/q.py": "def run(f):\n    f()\n",
+        })
+        for module in project.modules.values():
+            assert sim_scope(module, 1, project)
+            assert in_shared_scope(module, project)
+
+    def test_repo_scope_is_superset_of_module_prefix(self, repo_project):
+        # The acceptance criterion, proven over the real tree: every
+        # (module, line) the old _SHARED_SCOPE / sim-prefix heuristic
+        # put in scope is still in scope under the new pipeline.
+        for module in repo_project.modules.values():
+            if in_scope(module, _SHARED_SCOPE):
+                assert in_shared_scope(module, repo_project)
+            if in_scope(module, SIM_FALLBACK_SCOPE):
+                last = getattr(module.tree.body[-1], "end_lineno", 1) \
+                    if module.tree.body else 1
+                for line in (1, max(1, last // 2), last):
+                    assert sim_scope(module, line, repo_project)
+
+    def test_reachability_extends_beyond_the_prefix(self, repo_project):
+        # The point of the pipeline: at least one module outside the
+        # historical sim prefixes is now provably sim-reachable.
+        extended = [
+            module for module in repo_project.modules.values()
+            if not in_scope(module, SIM_FALLBACK_SCOPE)
+            and repo_project.module_reachable(module)]
+        assert extended, "reachability added no coverage beyond prefixes"
+
+
+# -- symbol table ----------------------------------------------------------
+
+
+class TestSymbols:
+    def test_import_chain_resolution(self):
+        project = project_from({
+            "src/repro/common/util.py": "def helper():\n    return 1\n",
+            "src/repro/common/__init__.py": (
+                '"""pkg"""\n'
+                "from repro.common.util import helper\n"
+                "__all__ = ['helper']\n"),
+            "src/repro/net/use.py": (
+                "from repro.common import helper\n"
+                "def go():\n"
+                "    return helper()\n"),
+        })
+        symbols = project.symbols
+        assert symbols.resolve_name("repro.net.use", "helper") == \
+            "repro.common.util.helper"
+        reachable = project.callgraph.reachable_from({"repro.net.use.go"})
+        assert "repro.common.util.helper" in reachable
+
+    def test_relative_import_resolution(self):
+        project = project_from({
+            "src/repro/net/aux.py": "def fix():\n    return 0\n",
+            "src/repro/net/use.py": (
+                "from .aux import fix\n"
+                "def go():\n"
+                "    return fix()\n"),
+        })
+        assert "repro.net.aux.fix" in \
+            project.callgraph.reachable_from({"repro.net.use.go"})
+
+    def test_subclasses_of_walks_transitively(self, repo_project):
+        names = {cls.qualname.rsplit(".", 1)[-1]
+                 for cls in repo_project.symbols.subclasses_of("QueryHandler")}
+        assert "TopKHandler" in names
+
+    def test_entry_point_methods_exist_as_functions(self, repo_project):
+        for qualname in ENTRY_POINTS:
+            assert qualname in repo_project.symbols.functions

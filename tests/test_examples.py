@@ -27,6 +27,39 @@ def test_example_runs(script):
     assert proc.stdout.strip(), "examples must print their findings"
 
 
+def test_overlay_genericity_matches_readme_matrix():
+    """The example's overlay roster stays consistent with the README.
+
+    Every overlay the genericity demo exercises must be a row of the
+    README overlay matrix, and the demo's printed skip-graph degree must
+    respect the constant cap the matrix advertises ("6 (constant)").
+    """
+    readme = (EXAMPLES.parent / "README.md").read_text(encoding="utf-8")
+    rows = [line.split("|")[1].strip().lower()
+            for line in readme.splitlines()
+            if line.startswith("|") and line.count("|") >= 6
+            and "---" not in line and "overlay" != line.split("|")[1].strip()]
+    assert {"midas", "can", "chord", "rainbow skip graph"} <= set(rows)
+
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "overlay_genericity.py")],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    printed = {line.split("(")[0].strip().lower()
+               for line in proc.stdout.splitlines() if "correct;" in line}
+    assert printed == {"midas", "can", "chord", "rainbow skip graph"}
+    assert printed <= set(rows), "example exercises an overlay the " \
+        "README matrix does not document"
+
+    skip_line = next(line for line in proc.stdout.splitlines()
+                     if line.lower().startswith("rainbow skip graph"))
+    degree = int(skip_line.split("max-degree=")[1].split()[0])
+    skip_row = next(line for line in readme.splitlines()
+                    if line.lower().startswith("| rainbow skip graph"))
+    assert "6 (constant)" in skip_row
+    assert degree <= 6
+
+
 def test_examples_directory_complete():
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "nba_allstars.py", "photo_diversity.py",

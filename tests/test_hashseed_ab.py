@@ -1,0 +1,36 @@
+"""The hash-randomization A/B harness: dynamic proof of RPL013's claim.
+
+Runs ``tools/hashseed_ab`` as a real subprocess (the same invocation CI
+uses) and pins its contract: identical canonical output under two
+``PYTHONHASHSEED`` values, exit 0, and a non-trivial battery (every
+engine represented in the snapshot).
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "hashseed_ab"
+
+
+def test_ab_battery_is_hash_seed_invariant():
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), "--seeds", "0", "1"],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stdout[-2000:] + proc.stderr[-2000:]
+    assert "identical answers and QueryStats" in proc.stdout
+
+
+def test_emit_snapshot_covers_every_engine():
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), "--emit"],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    snapshot = json.loads(proc.stdout)
+    assert set(snapshot) == {"recursive_topk", "event_driven_topk",
+                             "skyline", "workload"}
+    assert snapshot["recursive_topk"]["answer"], "empty top-k answer"
+    assert snapshot["workload"]["completed"] > 0
+    assert snapshot["workload"]["errors"] == 0
