@@ -1,0 +1,419 @@
+"""Result-cache benchmark: warm == cold bit-identity and traffic saved.
+
+Three row families, all on zero-fault networks (the only configuration
+the engine consults the cache on):
+
+* **repeat rows** (overlay x handler family): the same query issued
+  ``repeats`` times from rotating initiators, once on an engine without
+  a cache (``cold_messages``) and once with a
+  :class:`~repro.net.resultcache.CacheDirectory` (``warm_messages``).
+  Every repeat after the first must be an exact hit, the warm answer
+  stream must be checksum-identical to the cold one, and total traffic
+  must drop.
+* **semantic rows**: a priming query followed by a *different* query the
+  cache can serve from it — a top-k prefix of a cached top-k' on the
+  same scope, a superset-region top-k / skyline seeding the subset
+  query's state, and a sub-box range scan filtered from a cached
+  superset scan.  The reused answer is compared against a cold run of
+  the same query on a cache-less engine.
+* **workload rows**: the skewed open-loop mix
+  (``WorkloadSpec.population`` + Zipf ``skew``) run cold and warm over
+  the same overlay, gating the headline claim — at least half the
+  network messages disappear on the skewed row — plus one adaptive-``r``
+  row pinning that :class:`~repro.net.adaptive.AdaptiveFanout` changes
+  costs, never answers.
+
+Everything is simulated and seeded, so every recorded fact (message
+counts, hit counts, answer checksums) is deterministic and the compare
+gate runs at tolerance 0.
+
+Usage::
+
+    # refresh the committed baseline (BENCH_cache.json)
+    PYTHONPATH=src python -m benchmarks.bench_cache --record
+
+    # CI gate: rerun the smoke config, compare against the baseline
+    PYTHONPATH=src python -m benchmarks.bench_cache --smoke \
+        --compare BENCH_cache.json --out bench_cache_smoke.json
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+
+import numpy as np
+import pytest
+
+from repro import (CacheDirectory, LinearScore, QueryEngine, RangeHandler,
+                   Rect, RectRegion, SkylineHandler, TopKHandler,
+                   WorkloadSpec, run_workload)
+
+from ._gate import add_gate_arguments, gate, log, write_json
+from .bench_churn import build_overlay
+
+BASELINE_PATH = "BENCH_cache.json"
+
+OVERLAYS = ("midas", "chord", "can", "skipgraph")
+FAMILIES = ("topk", "skyline", "range")
+
+#: Deterministic facts the compare gate pins exactly (whichever of them
+#: a recorded row carries).
+GATED_FIELDS = ("cold_messages", "warm_messages", "hits", "semantic_hits",
+                "answers_match", "checksum", "hit_rate", "reduction",
+                "messages_fixed", "messages_adaptive", "completed")
+
+
+def _dims(kind):
+    return 1 if kind in ("chord", "skipgraph") else 2
+
+
+def family_handler(kind, family):
+    dims = _dims(kind)
+    if family == "topk":
+        return TopKHandler(LinearScore([1.0] * dims), 8)
+    if family == "skyline":
+        return SkylineHandler(dims)
+    return RangeHandler(Rect((0.1,) * dims, (0.8,) * dims))
+
+
+def _canon(value):
+    """JSON-serializable canonical form of an answer (numpy-free)."""
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def checksum(answers):
+    """Short deterministic digest of an answer stream."""
+    payload = json.dumps(_canon(answers), separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _run_series(overlay, submissions, *, cache=None, strict=None):
+    """Run ``submissions = [(initiator, handler, r)]`` sequentially on a
+    fresh engine; returns (answers, total messages, engine)."""
+    engine = QueryEngine(capacity=1, queue_limit=len(submissions),
+                         cache=cache)
+    answers, messages = [], 0
+    for initiator, handler, r in submissions:
+        job_id = engine.submit(initiator, handler, r,
+                               restriction=overlay.domain(), strict=strict)
+        engine.run()
+        outcome = engine.result_of(job_id)
+        answers.append(outcome.answer)
+        messages += outcome.stats.total_messages
+    return answers, messages, engine
+
+
+def repeat_row(kind, family, *, peers, tuples, repeats, seed):
+    """The same query ``repeats`` times: cold engine vs cached engine."""
+    overlay = build_overlay(kind, peers=peers, tuples=tuples, seed=seed)
+    strict = False if kind == "can" else None
+    all_peers = overlay.peers()
+    submissions = [(all_peers[i % len(all_peers)],
+                    family_handler(kind, family), i % 2)
+                   for i in range(repeats)]
+    cold_answers, cold_messages, _ = _run_series(overlay, submissions,
+                                                 strict=strict)
+    cache = CacheDirectory(overlay)
+    warm_answers, warm_messages, _ = _run_series(overlay, submissions,
+                                                 cache=cache, strict=strict)
+    counters = cache.snapshot()
+    return {
+        "key": f"repeat-{kind}-{family}-n{repeats}-p{peers}-s{seed}",
+        "mode": "repeat", "overlay": kind, "family": family,
+        "repeats": repeats, "peers": peers, "seed": seed,
+        "cold_messages": cold_messages, "warm_messages": warm_messages,
+        "hits": counters["hits"],
+        "semantic_hits": counters["semantic_hits"],
+        "answers_match": int(checksum(warm_answers)
+                             == checksum(cold_answers)),
+        "checksum": checksum(cold_answers),
+        "reduction": round(1.0 - warm_messages / max(1, cold_messages), 6),
+    }
+
+
+def _semantic_cases(kind):
+    """(name, priming handler, reused handler, reused restriction) rows.
+
+    The reused restriction ``None`` means "same domain as the priming
+    query"; otherwise it is the subset scope the cache must cover.  The
+    subset-region cases only run on the rectangle-region substrate
+    (MIDAS): ring overlays scope by arcs, so a sub-rectangle would not
+    be a coverable restriction there.
+    """
+    dims = _dims(kind)
+    fn = LinearScore([1.0] * dims)
+    cases = [
+        ("topk-prefix", TopKHandler(fn, 8), TopKHandler(fn, 4), None),
+        ("range-subbox", RangeHandler(Rect((0.0,) * dims, (0.9,) * dims)),
+         RangeHandler(Rect((0.2,) * dims, (0.7,) * dims)), None),
+    ]
+    if kind == "midas":
+        # Each subset hugs the corner its family's answers cluster at —
+        # the maximizing corner for top-k, the origin for skylines — so
+        # the cached answer has members inside the new scope to seed.
+        top = RectRegion(Rect((0.3,) * dims, (1.0,) * dims))
+        low = RectRegion(Rect((0.0,) * dims, (0.6,) * dims))
+        cases[1:1] = [
+            ("topk-subset", TopKHandler(fn, 8), TopKHandler(fn, 8), top),
+            ("skyline-subset", SkylineHandler(dims), SkylineHandler(dims),
+             low),
+        ]
+    return cases
+
+
+def semantic_row(kind, case, *, peers, tuples, seed):
+    """Prime the cache with one query, then reuse it for a different one."""
+    name, prime, reuse, sub = case
+    overlay = build_overlay(kind, peers=peers, tuples=tuples, seed=seed)
+    all_peers = overlay.peers()
+    scope = overlay.domain() if sub is None else sub
+    cold_engine = QueryEngine(capacity=1)
+    cold_id = cold_engine.submit(all_peers[1], reuse, 0, restriction=scope)
+    cold_engine.run()
+    cold = cold_engine.result_of(cold_id)
+    cache = CacheDirectory(overlay)
+    warm_engine = QueryEngine(capacity=1, cache=cache)
+    warm_engine.submit(all_peers[0], prime, 0,
+                       restriction=overlay.domain())
+    warm_engine.run()
+    reuse_id = warm_engine.submit(all_peers[1], reuse, 0, restriction=scope)
+    warm_engine.run()
+    reused = warm_engine.result_of(reuse_id)
+    counters = cache.snapshot()
+    return {
+        "key": f"semantic-{kind}-{name}-p{peers}-s{seed}",
+        "mode": "semantic", "overlay": kind, "case": name,
+        "peers": peers, "seed": seed,
+        "cold_messages": cold.stats.total_messages,
+        "warm_messages": reused.stats.total_messages,
+        "semantic_hits": counters["semantic_hits"],
+        "answers_match": int(checksum(reused.answer)
+                             == checksum(cold.answer)),
+        "checksum": checksum(cold.answer),
+    }
+
+
+def _workload_answers(report):
+    return [outcome.answer for _, outcome in
+            sorted(report.outcomes.items())
+            if hasattr(outcome, "answer")]
+
+
+def _skew_spec(*, queries, seed, population, adaptive_r=False):
+    return WorkloadSpec(queries=queries, rate=0.5, seed=seed,
+                        strict=False, rs=(0, 1, 2),
+                        population=population, skew=1.2,
+                        adaptive_r=adaptive_r)
+
+
+def skew_row(kind, *, peers, tuples, queries, seed, population=6):
+    """The skewed repeated-query mix, cold vs warm — the headline row."""
+    overlay = build_overlay(kind, peers=peers, tuples=tuples, seed=seed)
+    spec = _skew_spec(queries=queries, seed=seed, population=population)
+    cold_engine = QueryEngine(capacity=4, queue_limit=queries,
+                              service_time=1)
+    cold = run_workload(overlay, spec, engine=cold_engine)
+    warm_engine = QueryEngine(capacity=4, queue_limit=queries,
+                              service_time=1,
+                              cache=CacheDirectory(overlay))
+    warm = run_workload(overlay, spec, engine=warm_engine)
+    return {
+        "key": f"skew-{kind}-q{queries}-pop{population}-p{peers}-s{seed}",
+        "mode": "skew", "overlay": kind, "queries": queries,
+        "population": population, "peers": peers, "seed": seed,
+        "completed": warm.completed,
+        "cold_messages": cold.messages_total,
+        "warm_messages": warm.messages_total,
+        "hits": warm.cache_hits,
+        "semantic_hits": warm.cache_semantic_hits,
+        "hit_rate": round(warm.cache_hits / max(1, warm.completed), 6),
+        "reduction": round(1.0 - warm.messages_total
+                           / max(1, cold.messages_total), 6),
+        "answers_match": int(checksum(_workload_answers(warm))
+                             == checksum(_workload_answers(cold))),
+        "checksum": checksum(_workload_answers(cold)),
+    }
+
+
+def adaptive_row(kind, *, peers, tuples, queries, seed):
+    """Adaptive ``r`` changes costs, never answers (r-invariance)."""
+    overlay = build_overlay(kind, peers=peers, tuples=tuples, seed=seed)
+    fixed_engine = QueryEngine(capacity=4, queue_limit=queries,
+                               service_time=1)
+    fixed = run_workload(
+        overlay, _skew_spec(queries=queries, seed=seed, population=None),
+        engine=fixed_engine)
+    adaptive_engine = QueryEngine(capacity=4, queue_limit=queries,
+                                  service_time=1)
+    adaptive = run_workload(
+        overlay, _skew_spec(queries=queries, seed=seed, population=None,
+                            adaptive_r=True),
+        engine=adaptive_engine)
+    decisions = adaptive.fanout_decisions or {}
+    return {
+        "key": f"adaptive-{kind}-q{queries}-p{peers}-s{seed}",
+        "mode": "adaptive", "overlay": kind, "queries": queries,
+        "peers": peers, "seed": seed,
+        "completed": adaptive.completed,
+        "messages_fixed": fixed.messages_total,
+        "messages_adaptive": adaptive.messages_total,
+        "decisions": {str(r): n for r, n in sorted(decisions.items())},
+        "answers_match": int(checksum(_workload_answers(adaptive))
+                             == checksum(_workload_answers(fixed))),
+        "checksum": checksum(_workload_answers(fixed)),
+    }
+
+
+def sweep(*, peers, tuples, repeats, queries, seed):
+    rows = []
+    for kind in OVERLAYS:
+        for family in FAMILIES:
+            rows.append(repeat_row(kind, family, peers=peers, tuples=tuples,
+                                   repeats=repeats, seed=seed))
+    for kind in ("midas", "chord"):
+        for case in _semantic_cases(kind):
+            rows.append(semantic_row(kind, case, peers=peers, tuples=tuples,
+                                     seed=seed))
+        rows.append(skew_row(kind, peers=peers, tuples=tuples,
+                             queries=queries, seed=seed))
+    rows.append(adaptive_row("midas", peers=peers, tuples=tuples,
+                             queries=queries, seed=seed))
+    return rows
+
+
+def check_invariants(rows):
+    """The correctness gates themselves; raises AssertionError on breach."""
+    for row in rows:
+        assert row["answers_match"] == 1, \
+            f"{row['key']}: warm answers diverged from cold"
+        if row["mode"] == "repeat":
+            assert row["hits"] == row["repeats"] - 1, row["key"]
+            assert row["warm_messages"] < row["cold_messages"], row["key"]
+        elif row["mode"] == "semantic":
+            assert row["semantic_hits"] >= 1, \
+                f"{row['key']}: cache never reused the primed entry"
+            assert row["warm_messages"] <= row["cold_messages"], row["key"]
+        elif row["mode"] == "skew":
+            assert row["completed"] == row["queries"], row["key"]
+            assert row["hits"] > 0, row["key"]
+            assert row["reduction"] >= 0.5, \
+                f"{row['key']}: only {row['reduction']:.0%} of messages " \
+                f"saved on the skewed workload (gate: >= 50%)"
+        elif row["mode"] == "adaptive":
+            assert row["completed"] == row["queries"], row["key"]
+            assert sum(row["decisions"].values()) == row["completed"], \
+                row["key"]
+
+
+def compare(fresh_rows, baseline, tolerance):
+    """Deterministic row-for-row gate; returns failure strings."""
+    fresh = {row["key"]: row for row in fresh_rows}
+    failures = []
+    for key, recorded in baseline.get("rows", {}).items():
+        now = fresh.get(key)
+        if now is None:
+            continue  # configs differ between --smoke and --record
+        for field in GATED_FIELDS:
+            if field not in recorded:
+                continue
+            want, got = recorded[field], now[field]
+            if want == got:
+                continue
+            if isinstance(want, str) \
+                    or abs(got - want) > tolerance:
+                failures.append(
+                    f"{key}: {field} {got!r} drifted from recorded "
+                    f"{want!r} (tolerance {tolerance})")
+    return failures
+
+
+SMOKE = dict(peers=16, tuples=120, repeats=4, queries=40, seed=0)
+FULL = dict(peers=48, tuples=400, repeats=6, queries=120, seed=0)
+
+
+# -- pytest entry points (collected by the benchmark suite) ------------------
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_repeat_bit_identity(family):
+    row = repeat_row("midas", family, peers=16, tuples=120, repeats=3,
+                     seed=0)
+    assert row["answers_match"] == 1
+    assert row["hits"] == 2
+    assert row["warm_messages"] < row["cold_messages"]
+
+
+def test_skew_halves_traffic():
+    row = skew_row("midas", peers=16, tuples=120, queries=40, seed=0)
+    assert row["answers_match"] == 1
+    assert row["reduction"] >= 0.5
+
+
+def test_smoke_sweep_invariants():
+    rows = sweep(**SMOKE)
+    check_invariants(rows)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="result-cache hit rates, traffic reduction, and "
+                    "warm/cold bit-identity")
+    add_gate_arguments(
+        parser, baseline_path=BASELINE_PATH, default_tolerance=0.0,
+        tolerance_help="allowed drift per recorded field (default 0: "
+                       "every gated fact is deterministic)")
+    parser.add_argument("--peers", type=int, default=FULL["peers"])
+    parser.add_argument("--tuples", type=int, default=FULL["tuples"])
+    parser.add_argument("--repeats", type=int, default=FULL["repeats"])
+    parser.add_argument("--queries", type=int, default=FULL["queries"])
+    parser.add_argument("--seed", type=int, default=FULL["seed"])
+    args = parser.parse_args(argv)
+
+    config = dict(SMOKE) if args.smoke else dict(
+        peers=args.peers, tuples=args.tuples, repeats=args.repeats,
+        queries=args.queries, seed=args.seed)
+    rows = sweep(**config)
+    check_invariants(rows)
+
+    if args.record:
+        # the baseline covers the smoke config too, so the CI smoke run
+        # always finds matching scenario keys to gate against
+        smoke_rows = rows if args.smoke else sweep(**SMOKE)
+        recorded = {row["key"]: row for row in smoke_rows}
+        if not args.smoke:
+            recorded.update({row["key"]: row for row in rows})
+        write_json(BASELINE_PATH,
+                   {"meta": {"smoke": SMOKE, "full": FULL,
+                             "overlays": OVERLAYS, "families": FAMILIES},
+                    "rows": recorded}, sort_keys=True)
+        log(f"wrote baseline {BASELINE_PATH} ({len(recorded)} scenarios)")
+
+    if args.out:
+        write_json(args.out, rows)
+        log(f"wrote {len(rows)} rows to {args.out}")
+    elif not args.record:
+        print(json.dumps(rows, indent=2))
+
+    if args.compare:
+        def passed(baseline):
+            gated = sum(1 for row in rows
+                        if row["key"] in baseline.get("rows", {}))
+            return f"cache gate passed ({gated} scenarios compared)"
+
+        return gate(rows, args.compare, compare, args.tolerance,
+                    passed=passed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,8 +33,12 @@ from .core.framework import Link, SLOW, physical_id, run_fast, run_ripple, \
 from .core.handler import QueryHandler
 from .core.regions import (ArcRegion, FrustumRegion, RectRegion, Region,
                            domain_region)
+from .net.adaptive import (AdaptiveFanout, CostEstimate, CostModel,
+                           EngineLoad, calibrate_fanout)
 from .net.context import QueryResult, QueryStats
 from .net.detector import FailureDetector
+from .net.resultcache import (CacheDirectory, CacheEntry, CacheLookup,
+                              handler_fingerprint, region_fingerprint)
 from .net.eventsim import SimulationBudgetExceeded, event_driven_ripple
 from .net.faults import FaultPlan, resilient_ripple
 from .net.scheduler import (AdmissionPolicy, FifoPolicy, PriorityPolicy,
@@ -61,15 +65,22 @@ from .queries.topk import TopKHandler, distributed_topk, topk_reference
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveFanout",
     "AdmissionPolicy",
     "ArcRegion",
     "BatonOverlay",
     "BatonPeer",
+    "CacheDirectory",
+    "CacheEntry",
+    "CacheLookup",
     "CanOverlay",
     "CanPeer",
     "ChordOverlay",
     "ChordPeer",
+    "CostEstimate",
+    "CostModel",
     "DiversificationObjective",
+    "EngineLoad",
     "FailureDetector",
     "FaultPlan",
     "FifoPolicy",
@@ -117,6 +128,7 @@ __all__ = [
     "WorkloadReport",
     "WorkloadSpec",
     "ZCurve",
+    "calibrate_fanout",
     "critical_path",
     "distributed_skyline",
     "distributed_topk",
@@ -124,9 +136,11 @@ __all__ = [
     "dominates",
     "event_driven_ripple",
     "greedy_diversify",
+    "handler_fingerprint",
     "metrics_of",
     "physical_id",
     "poisson_arrivals",
+    "region_fingerprint",
     "replay",
     "resilient_ripple",
     "run_fast",

@@ -11,6 +11,7 @@ module-prefix scopes).
 from __future__ import annotations
 
 from ..engine import Rule
+from .cachingrules import check_rpl016
 from .determinism import check_rpl001, check_rpl002, check_rpl013
 from .hygiene import (check_rpl006, check_rpl007, check_rpl008,
                       check_rpl009)
@@ -40,5 +41,6 @@ RULES: tuple[Rule, ...] = tuple(
         ("RPL013", check_rpl013),
         ("RPL014", check_rpl014),
         ("RPL015", check_rpl015),
+        ("RPL016", check_rpl016),
     ]
 )

@@ -1,0 +1,95 @@
+"""Caching rules: RPL016 (query-answer caching goes through CacheDirectory).
+
+The result cache is sound only because every entry carries its
+``(peer, store version)`` touched-set evidence and every mutation path
+pushes an invalidation at it (store listeners, overlay epochs, crash
+promotions).  An ad-hoc ``dict`` keyed by query parameters has none of
+that: it keeps serving the old answer after the data under it moved,
+and nothing in the test matrix can pin the staleness because the dict
+is invisible to the invalidation plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import attr_chain
+from ..engine import Finding, ParsedModule, Project, finding_at, in_scope, \
+    sim_scope
+
+__all__ = ["check_rpl016"]
+
+#: Container names that announce memoized answers.  Matching the *name*
+#: is deliberate: the rule is about intent, and code that caches under
+#: an innocent name is code review's job, not a linter's.
+_CACHE_TOKENS = ("cache", "memo")
+
+#: Dict methods that write an entry in place.
+_WRITE_METHODS = frozenset({"setdefault", "update"})
+
+#: The sanctioned caching implementations, and the competitor baselines
+#: (SPEERTO's super-peer skyline cache is part of the *reproduced*
+#: algorithm — reproducing its staleness behaviour is the point).
+_EXEMPT = ("repro/net/resultcache.py", "repro/common/store.py",
+           "repro/baselines")
+
+
+def _cache_named(node: ast.AST) -> str | None:
+    """The dotted chain of an attribute/subscript target when its leaf
+    names a cache (``self._answer_cache``, ``memo``), else None."""
+    chain = attr_chain(node)
+    if not chain:
+        return None
+    leaf = chain[-1].lower()
+    if any(token in leaf for token in _CACHE_TOKENS):
+        return ".".join(chain)
+    return None
+
+
+def check_rpl016(module: ParsedModule,
+                 project: Project | None) -> Iterator[Finding]:
+    """RPL016: no ad-hoc dict caching of query answers in sim code.
+
+    Writing into a cache-named container (``…cache[key] = answer``,
+    ``…memo.setdefault(key, answer)``) anywhere the simulation can reach
+    builds a second cache with no invalidation story: ``CacheDirectory``
+    entries freeze the ``(peer, store version)`` set the answer came
+    from and are dropped the moment any of it moves, while a bare dict
+    outlives every mutation, split, and crash promotion underneath it.
+    Route the lookup through :class:`repro.net.resultcache.CacheDirectory`
+    (or scope the state to one run so there is nothing to invalidate).
+    ``@lru_cache`` on pure functions of immutable arguments is out of
+    scope — no store state, nothing to go stale.  The store's own
+    version-keyed kernel cache and the competitor baselines are exempt.
+    """
+    if in_scope(module, _EXEMPT):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                name = _cache_named(target)
+                if name and sim_scope(module, target.lineno, project):
+                    yield finding_at(
+                        module, target, "RPL016",
+                        f"ad-hoc cache write '{name}[...] = ...' in "
+                        "sim-reachable code; query-answer caching must go "
+                        "through CacheDirectory, whose entries carry "
+                        "(peer, store version) evidence for exact "
+                        "invalidation")
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _WRITE_METHODS:
+            name = _cache_named(node.func.value)
+            if name and sim_scope(module, node.lineno, project):
+                yield finding_at(
+                    module, node, "RPL016",
+                    f"ad-hoc cache write '{name}.{node.func.attr}(...)' "
+                    "in sim-reachable code; query-answer caching must go "
+                    "through CacheDirectory, whose entries carry "
+                    "(peer, store version) evidence for exact "
+                    "invalidation")

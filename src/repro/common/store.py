@@ -74,6 +74,7 @@ class LocalStore:
         self._size = 0
         self._version = 0
         self._cache: dict[Hashable, Any] = {}
+        self._listeners: list[Callable[[], None]] = []
         self.cache_hits = 0
         self.cache_misses = 0
         for point in points:
@@ -101,6 +102,7 @@ class LocalStore:
         store._size = len(array)
         store._version = 0
         store._cache = {}
+        store._listeners = []
         store.cache_hits = 0
         store.cache_misses = 0
         store._frozen = True
@@ -143,6 +145,29 @@ class LocalStore:
         self._version += 1
         if self._cache:
             self._cache.clear()
+        for listener in self._listeners:
+            listener()
+
+    def subscribe(self, listener: Callable[[], None]) -> Callable[[], None]:
+        """Register ``listener`` to fire after every version bump.
+
+        The callback runs synchronously inside the mutating call, after
+        the version moved and the computation cache was dropped — the
+        hook :class:`~repro.net.resultcache.CacheDirectory` uses for
+        push-style exact invalidation of cached query answers.  Returns
+        the listener so subscribing can be inlined; duplicate
+        subscriptions fire once per subscription.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[], None]) -> None:
+        """Remove one earlier subscription of ``listener`` (no-op when
+        absent), so directories tracking departed peers can detach."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def cached(self, key: Hashable, compute: Callable[[], _T]) -> _T:
         """Memoize ``compute()`` against the current store version.

@@ -16,7 +16,11 @@ __all__ = ["DuplicateVisitError", "QueryContext", "QueryResult",
            "QueryCompleted", "QueryRejected", "QueryDeadlineExceeded",
            "QueryBudgetExceeded", "QueryEngine",
            "WorkloadSpec", "WorkloadReport", "poisson_arrivals",
-           "run_workload"]
+           "run_workload",
+           "CacheDirectory", "CacheEntry", "CacheLookup",
+           "handler_fingerprint", "region_fingerprint",
+           "AdaptiveFanout", "CostEstimate", "CostModel", "EngineLoad",
+           "calibrate_fanout"]
 
 _EVENTSIM = {"EventSimulator", "SimulationBudgetExceeded",
              "event_driven_ripple", "DEFAULT_MAX_EVENTS"}
@@ -28,6 +32,10 @@ _SCHEDULER = {"AdmissionPolicy", "FifoPolicy", "PriorityPolicy",
               "QueryBudgetExceeded", "QueryEngine"}
 _WORKLOAD = {"WorkloadSpec", "WorkloadReport", "poisson_arrivals",
              "run_workload"}
+_RESULTCACHE = {"CacheDirectory", "CacheEntry", "CacheLookup",
+                "handler_fingerprint", "region_fingerprint"}
+_ADAPTIVE = {"AdaptiveFanout", "CostEstimate", "CostModel", "EngineLoad",
+             "calibrate_fanout"}
 
 
 def __getattr__(name: str) -> Any:
@@ -49,4 +57,10 @@ def __getattr__(name: str) -> Any:
     if name in _WORKLOAD:
         from . import workload
         return getattr(workload, name)
+    if name in _RESULTCACHE:
+        from . import resultcache
+        return getattr(resultcache, name)
+    if name in _ADAPTIVE:
+        from . import adaptive
+        return getattr(adaptive, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -47,10 +47,12 @@ from ..core.framework import SLOW, PeerLike
 from ..core.handler import QueryHandler
 from ..core.regions import Region, region_volume
 from ..obs.metrics import MetricsRegistry
-from ..obs.trace import TraceSink
-from .context import QueryContext, QueryStats
+from ..obs.trace import TraceSink, state_size
+from .adaptive import AdaptiveFanout, EngineLoad
+from .context import QueryContext, QueryResult, QueryStats
 from .detector import FailureDetector
 from .eventsim import DEFAULT_MAX_EVENTS, EventSimulator, _Invocation
+from .resultcache import CacheDirectory
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
     from ..overlays.replication import ReplicaDirectory
@@ -234,6 +236,18 @@ class QueryEngine:
     self-healing machinery as :func:`~repro.net.faults.resilient_ripple`;
     ``service_time`` turns on the per-peer service-queue model.
 
+    ``cache`` attaches a :class:`~repro.net.resultcache.CacheDirectory`:
+    exact hits settle at admission with the remembered answer and
+    zero-cost stats, semantic hits seed the root state, and completed
+    queries are stored back.  The engine only consults it on a
+    zero-fault configuration — under a fault plan a cold run may be
+    partial, which would break the warm == cold bit-identity guarantee —
+    but still wires :meth:`~repro.net.resultcache.CacheDirectory.watch_replicas`
+    so crash promotions invalidate.  ``fanout`` attaches an
+    :class:`~repro.net.adaptive.AdaptiveFanout` controller that
+    overrides each admitted job's ``r`` from the observed load
+    (answers are ``r``-invariant, so only costs change).
+
     Usage: :meth:`submit` (now) or :meth:`submit_at` (open-loop arrival
     times), then :meth:`run` to drain the simulation; outcomes are
     returned keyed by job id.  The engine is reusable: later submissions
@@ -252,6 +266,8 @@ class QueryEngine:
         max_events_per_query: int | None = DEFAULT_MAX_EVENTS,
         registry: MetricsRegistry | None = None,
         sink: TraceSink | None = None,
+        cache: CacheDirectory | None = None,
+        fanout: AdaptiveFanout | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -274,6 +290,10 @@ class QueryEngine:
         if replicas is not None:
             replicas.refresh()
             self.sim.replicas = replicas
+        self.cache = cache
+        self.fanout = fanout
+        if cache is not None and replicas is not None:
+            cache.watch_replicas(replicas)
         self._job_ids = itertools.count()
         self._waiting: list[QueryJob] = []
         self._running: dict[int, _Running] = {}
@@ -283,6 +303,12 @@ class QueryEngine:
     def _alive(self, peer_id: Hashable) -> bool:
         assert self.faults is not None
         return self.faults.alive(peer_id, self.sim.now)
+
+    def _load(self) -> EngineLoad:
+        """The occupancy snapshot the fanout controller decides on."""
+        return EngineLoad(running=len(self._running), capacity=self.capacity,
+                          waiting=len(self._waiting),
+                          queue_limit=self.queue_limit)
 
     # -- submission --------------------------------------------------------
 
@@ -358,6 +384,32 @@ class QueryEngine:
     # -- execution ---------------------------------------------------------
 
     def _launch(self, job: QueryJob) -> None:
+        seed_state: Any = None
+        consulted = self.cache is not None and self.faults is None
+        if consulted:
+            assert self.cache is not None
+            hit = self.cache.lookup(job.handler, job.restriction)
+            if hit.is_exact:
+                # Settled at admission: the remembered answer, zero cost.
+                # No capacity was consumed, so nothing frees up either.
+                self._count("queries.admitted")
+                self._count("queries.completed")
+                if self.sink is not None and self.sink.enabled:
+                    span = self.sink.begin_span(
+                        "query", job.initiator.peer_id, self.sim.now,
+                        query=job.job_id, r=job.r,
+                        region=repr(job.restriction), cache="exact")
+                    self.sink.event("cache-hit", self.sim.now, span=span,
+                                    saved=hit.saved)
+                    self.sink.end_span(span, self.sim.now,
+                                       status="completed")
+                self._settle(QueryCompleted(
+                    job=job, stats=QueryStats(), answer=hit.answer,
+                    submitted_at=self._submitted_at[job.job_id],
+                    finished_at=self.sim.now))
+                return
+            if hit.kind == "seed":
+                seed_state = hit.state
         plan = self.faults
         if plan is not None:
             plan.protect(job.initiator.peer_id)
@@ -392,21 +444,33 @@ class QueryEngine:
             ctx.sink = self.sink
         if plan is not None:
             ctx.restriction_volume = region_volume(job.restriction)
+        r = job.r if self.fanout is None \
+            else self.fanout.choose(job, self._load())
         entry = _Running(job=job, ctx=ctx)
         if ctx.sink.enabled:
             entry.span = ctx.sink.begin_span(
                 "query", job.initiator.peer_id, self.sim.now,
-                query=job.job_id, r=job.r, region=repr(job.restriction),
+                query=job.job_id, r=r, region=repr(job.restriction),
                 weight_class=job.weight_class, priority=job.priority)
+            if consulted:
+                if seed_state is not None:
+                    ctx.sink.event("cache-seed", self.sim.now,
+                                   span=entry.span,
+                                   size=state_size(seed_state))
+                else:
+                    ctx.sink.event("cache-miss", self.sim.now,
+                                   span=entry.span)
         self._running[job.job_id] = entry
         self._count("queries.admitted")
 
         def finish(states: list[Any]) -> None:
             self._complete(job.job_id)
 
+        initial = job.handler.initial_state() if seed_state is None \
+            else seed_state
         root = _Invocation(self.sim, ctx, job.handler, job.initiator,
-                           job.handler.initial_state(), job.restriction,
-                           min(job.r, SLOW), job.initiator.peer_id, finish,
+                           initial, job.restriction,
+                           min(r, SLOW), job.initiator.peer_id, finish,
                            parent_span=entry.span or None)
         self.sim.schedule(0, root.start, ctx)
 
@@ -423,6 +487,9 @@ class QueryEngine:
         answer = job.handler.finalize(ctx.collected_answers)
         if ctx.sink.enabled:
             ctx.sink.end_span(entry.span, self.sim.now, status="completed")
+        if self.cache is not None and self.faults is None:
+            self.cache.store(job.handler, job.restriction,
+                             QueryResult(answer, stats), ctx.processed)
         self._count("queries.completed")
         self._settle(QueryCompleted(
             job=job, stats=stats, answer=answer,
@@ -482,6 +549,8 @@ class QueryEngine:
 
     def _settle(self, outcome: QueryOutcome) -> None:
         self.outcomes[outcome.job.job_id] = outcome
+        if self.fanout is not None and isinstance(outcome, QueryCompleted):
+            self.fanout.observe(outcome)
         if self.registry is not None and isinstance(outcome, QueryCompleted):
             self.registry.histogram(
                 "query.latency",

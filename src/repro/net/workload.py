@@ -89,6 +89,16 @@ class WorkloadSpec:
     #: engine default (strict without faults).  Overlays with
     #: conservative region covers (CAN) need ``False``.
     strict: bool | None = None
+    #: Distinct query templates; ``None`` (the default, and the legacy
+    #: behaviour) draws a fresh query per arrival.  With a population the
+    #: spec pre-draws that many templates and each arrival Zipf-picks one,
+    #: so popular queries repeat — the regime a result cache serves.
+    population: int | None = None
+    #: Zipf exponent of template popularity (population mode only).
+    skew: float = 1.1
+    #: Attach an :class:`~repro.net.adaptive.AdaptiveFanout` over ``rs``
+    #: to the engine, overriding the per-arrival ``r`` draw by load.
+    adaptive_r: bool = False
 
     def __post_init__(self) -> None:
         if self.queries <= 0:
@@ -99,6 +109,10 @@ class WorkloadSpec:
             raise ValueError("topk_fraction must be within [0, 1]")
         if not self.rs or not self.priorities or not self.classes:
             raise ValueError("rs, priorities, and classes must be non-empty")
+        if self.population is not None and self.population <= 0:
+            raise ValueError("population must be positive when set")
+        if self.skew <= 0:
+            raise ValueError("skew must be positive")
 
 
 def poisson_arrivals(spec: WorkloadSpec) -> list[int]:
@@ -139,6 +153,14 @@ class WorkloadReport:
     max_saturation: float = 0.0
     #: Exceptions are never expected; kept to make the invariant visible.
     errors: int = 0
+    #: Network messages summed over completed queries.
+    messages_total: int = 0
+    #: Result-cache counters (all zero when the engine has no cache).
+    cache_hits: int = 0
+    cache_semantic_hits: int = 0
+    cache_messages_saved: int = 0
+    #: Chosen-``r`` tallies of the adaptive controller (empty without one).
+    fanout_decisions: dict[int, int] | None = None
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -153,6 +175,10 @@ class WorkloadReport:
             "admitted_completeness": self.admitted_completeness,
             "max_saturation": round(self.max_saturation, 6),
             "errors": self.errors,
+            "messages_total": self.messages_total,
+            "cache_hits": self.cache_hits,
+            "cache_semantic_hits": self.cache_semantic_hits,
+            "cache_messages_saved": self.cache_messages_saved,
         }
 
 
@@ -167,6 +193,7 @@ def _reduce(outcomes: Mapping[int, QueryOutcome],
             report.completed += 1
             latencies.append(outcome.turnaround)
             completeness = min(completeness, outcome.stats.completeness)
+            report.messages_total += outcome.stats.total_messages
         elif isinstance(outcome, QueryRejected):
             report.shed += 1
         elif isinstance(outcome, QueryDeadlineExceeded):
@@ -182,6 +209,13 @@ def _reduce(outcomes: Mapping[int, QueryOutcome],
     if elapsed > 0 and engine.sim.busy_time:
         report.max_saturation = min(1.0, max(
             busy / elapsed for busy in engine.sim.busy_time.values()))
+    if engine.cache is not None:
+        counters = engine.cache.snapshot()
+        report.cache_hits = counters["hits"]
+        report.cache_semantic_hits = counters["semantic_hits"]
+        report.cache_messages_saved = counters["messages_saved"]
+    if engine.fanout is not None:
+        report.fanout_decisions = dict(engine.fanout.decisions)
     return report
 
 
@@ -197,14 +231,22 @@ def run_workload(
 
     The query mix is drawn per arrival in a fixed order from one seeded
     generator (initiator, query family, scoring weights, r, priority,
-    class), so the whole run is deterministic.  ``registry`` (defaulting
-    to the engine's) additionally receives the per-peer saturation
-    histogram on top of the engine's own counters and latency histogram.
+    class), so the whole run is deterministic.  With
+    ``spec.population`` the handler draw is replaced by a Zipf pick from
+    a pre-drawn template pool (the repeated-query regime; all other
+    per-arrival draws keep their order, and ``population=None`` runs
+    are draw-for-draw identical to the legacy generator).  ``registry``
+    (defaulting to the engine's) additionally receives the per-peer
+    saturation histogram on top of the engine's own counters and
+    latency histogram.
     """
     if sink is not None:
         engine.sink = sink
     if registry is not None:
         engine.registry = registry
+    if spec.adaptive_r and engine.fanout is None:
+        from .adaptive import AdaptiveFanout
+        engine.fanout = AdaptiveFanout(rs=spec.rs)
     metrics = engine.registry
     rng = np.random.default_rng(mix(spec.seed, _QUERY_SALT))
     peers = overlay.peers()
@@ -213,14 +255,27 @@ def run_workload(
     class_names = [name for name, _ in spec.classes]
     class_weights = np.asarray([max(0, w) for _, w in spec.classes], float)
     class_probs = class_weights / class_weights.sum()
+
+    def draw_handler() -> TopKHandler | SkylineHandler:
+        if rng.random() < spec.topk_fraction:
+            weights = 0.25 + rng.random(dims)
+            return TopKHandler(LinearScore(weights), spec.k)
+        return SkylineHandler(dims)
+
+    templates: list[TopKHandler | SkylineHandler] | None = None
+    template_probs = None
+    if spec.population is not None:
+        templates = [draw_handler() for _ in range(spec.population)]
+        ranks = np.arange(1, spec.population + 1, dtype=float)
+        zipf = ranks ** -spec.skew
+        template_probs = zipf / zipf.sum()
     for arrival in poisson_arrivals(spec):
         initiator = peers[int(rng.integers(0, len(peers)))]
-        is_topk = bool(rng.random() < spec.topk_fraction)
-        if is_topk:
-            weights = 0.25 + rng.random(dims)
-            handler = TopKHandler(LinearScore(weights), spec.k)
+        if templates is None:
+            handler = draw_handler()
         else:
-            handler = SkylineHandler(dims)
+            handler = templates[
+                int(rng.choice(len(templates), p=template_probs))]
         r = int(spec.rs[int(rng.integers(0, len(spec.rs)))])
         priority = int(
             spec.priorities[int(rng.integers(0, len(spec.priorities)))])

@@ -135,7 +135,21 @@ class ReplicaDirectory:
         self._owners: dict[Hashable, ReplicatedPeer] = {}
         self._holders: dict[Hashable, list[ReplicatedPeer]] = {}
         self._promotions: dict[Hashable, Hashable] = {}
+        self._promotion_listeners: list[Callable[[Hashable], None]] = []
         self.refresh()
+
+    def subscribe_promotions(
+            self, listener: Callable[[Hashable], None]
+    ) -> Callable[[Hashable], None]:
+        """Register ``listener(owner_id)`` to fire whenever :meth:`repair`
+        declares an owner dead.
+
+        The query-result cache subscribes here: once a replica holder may
+        stand in for the owner, remembered answers that touched the owner
+        are no longer evidence about the peer now serving its zone.
+        """
+        self._promotion_listeners.append(listener)
+        return listener
 
     # -- maintenance -------------------------------------------------------
 
@@ -190,6 +204,8 @@ class ReplicaDirectory:
                alive: Callable[[Hashable], bool]) -> ReplicatedPeer | None:
         """Declare ``owner_id`` dead: pin the first live holder as its
         takeover target (the patched-link destination)."""
+        for listener in self._promotion_listeners:
+            listener(owner_id)
         for holder in self._holders.get(owner_id, ()):
             if alive(holder.peer_id):
                 self._promotions[owner_id] = holder.peer_id

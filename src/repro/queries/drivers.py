@@ -23,15 +23,18 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..common.geometry import Point
 from ..core.framework import PeerLike, execute
 from ..core.handler import QueryHandler
 from ..core.regions import Region
-from ..net.context import QueryContext, QueryResult
+from ..net.context import QueryContext, QueryResult, QueryStats
 from ..net.routing import greedy_route
 from ..obs.trace import TraceSink, state_size
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from ..net.resultcache import CacheDirectory
 
 __all__ = ["ExecutorFn", "run_seeded"]
 
@@ -61,6 +64,7 @@ def run_seeded(
     initial_state=None,
     sink: TraceSink | None = None,
     executor: ExecutorFn | None = None,
+    cache: "CacheDirectory | None" = None,
 ) -> QueryResult:
     """Route to the peer owning ``seed_point``, then ripple from there.
 
@@ -75,21 +79,52 @@ def run_seeded(
     so the main phase treats them as already-visited (they may legally be
     reached again, contributing nothing twice).
 
+    With a ``cache`` attached the drive consults it first: an exact hit
+    returns the remembered answer with zero-cost stats (no messages, no
+    peers touched), a semantic hit seeds the initial global state so
+    links prune before the first hop, and a completed miss is stored
+    back keyed on the peers it actually processed.  Warm answers are
+    bit-identical to cold ones (see :mod:`repro.net.resultcache`).
+
     With a trace ``sink`` attached, the whole drive records under one
     ``query`` root span: routing and probing emit ``process`` spans at
     hop-accurate virtual times, so the trace's critical path spans the
     route, the probe, and the ripple phase end to end.
     """
+    seeded_state = None
+    if cache is not None:
+        found = cache.lookup(handler, restriction)
+        if found.is_exact:
+            stats = QueryStats()
+            if sink is not None and sink.enabled:
+                span = sink.begin_span(
+                    "query", initiator.peer_id, 0, region=repr(restriction),
+                    r=r, cache="exact")
+                sink.event("cache-hit", 0, span=span, saved=found.saved)
+                sink.end_span(span, 0)
+                sink.on_stats(stats)
+            return QueryResult(found.answer, stats)
+        if found.kind == "seed" and initial_state is None:
+            seeded_state = found.state
     seed_peer, path = greedy_route(initiator, seed_point)
     ctx = QueryContext(strict=strict)
     if sink is not None:
         ctx.sink = sink
-    state = handler.initial_state() if initial_state is None else initial_state
+    if initial_state is None:
+        state = handler.initial_state() if seeded_state is None \
+            else seeded_state
+    else:
+        state = initial_state
     query_span = 0
     if ctx.sink.enabled:
         query_span = ctx.sink.begin_span(
             "query", initiator.peer_id, 0, region=repr(restriction), r=r,
             seed_point=tuple(float(v) for v in seed_point))
+        if seeded_state is not None:
+            ctx.sink.event("cache-seed", 0, span=query_span,
+                           size=state_size(seeded_state))
+        elif cache is not None:
+            ctx.sink.event("cache-miss", 0, span=query_span)
     for hop, peer in enumerate(path[:-1]):
         state, _ = _probe_peer(ctx, handler, peer, state, initiator.peer_id,
                                t=hop, parent_span=query_span)
@@ -109,6 +144,8 @@ def run_seeded(
                     parent_span=query_span or None)
     if ctx.sink.enabled:
         ctx.sink.end_span(query_span, result.stats.latency)
+    if cache is not None:
+        cache.store(handler, restriction, result, ctx.processed)
     return result
 
 

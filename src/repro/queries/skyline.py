@@ -251,6 +251,7 @@ def distributed_skyline(
     constraint: Rect | None = None,
     sink=None,
     executor=None,
+    cache=None,
 ):
     """End-to-end distributed skyline from ``initiator``.
 
@@ -258,7 +259,9 @@ def distributed_skyline(
     the preference origin — where the most dominating tuples live, the
     same starting point SSP and DSL use — and ripples out from there with
     a warm partial skyline.  Pass ``constraint`` for a constrained skyline
-    (the skyline among tuples inside the box).  Returns a
+    (the skyline among tuples inside the box).  ``cache`` (a
+    :class:`~repro.net.resultcache.CacheDirectory`) enables exact and
+    semantic answer reuse; it requires the seeded driver.  Returns a
     :class:`~repro.net.context.QueryResult` whose ``answer`` is the sorted
     global skyline.
     """
@@ -267,12 +270,14 @@ def distributed_skyline(
 
     handler = SkylineHandler(dims, constraint=constraint)
     if not seeded:
+        if cache is not None:
+            raise ValueError("answer caching requires the seeded driver")
         return run_ripple(initiator, handler, r,
                           restriction=restriction, strict=strict, sink=sink,
                           executor=executor)
     return run_seeded(initiator, handler, r, restriction=restriction,
                       seed_point=handler.origin, strict=strict, sink=sink,
-                      executor=executor)
+                      executor=executor, cache=cache)
 
 
 class SkylineHandler(QueryHandler):

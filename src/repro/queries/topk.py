@@ -175,6 +175,7 @@ def distributed_topk(
     strict: bool = True,
     sink=None,
     executor=None,
+    cache=None,
 ):
     """End-to-end distributed top-k from ``initiator``.
 
@@ -182,6 +183,8 @@ def distributed_topk(
     routes toward the scoring function's peak and probes best-first until
     ``k`` tuples back the threshold, so the ripple phase starts with a
     warm state; without it, Algorithm 3 runs cold from the initiator.
+    ``cache`` (a :class:`~repro.net.resultcache.CacheDirectory`) enables
+    exact and semantic answer reuse; it requires the seeded driver.
     Returns a :class:`~repro.net.context.QueryResult` whose ``answer`` is
     a list of ``(score, tuple)`` pairs, best first.
     """
@@ -190,6 +193,8 @@ def distributed_topk(
 
     handler = TopKHandler(fn, k)
     if not seeded:
+        if cache is not None:
+            raise ValueError("answer caching requires the seeded driver")
         return run_ripple(initiator, handler, r,
                           restriction=restriction, strict=strict, sink=sink,
                           executor=executor)
@@ -198,7 +203,7 @@ def distributed_topk(
                        for v, h in zip(fn.peak(domain), domain.hi))
     return run_seeded(initiator, handler, r, restriction=restriction,
                       seed_point=seed_point, strict=strict, sink=sink,
-                      executor=executor)
+                      executor=executor, cache=cache)
 
 
 def topk_reference(array, fn: ScoringFunction, k: int) -> list[tuple[float, Point]]:

@@ -1,4 +1,4 @@
-"""Fixture tests for the whole-program rules (RPL013-RPL015) and the
+"""Fixture tests for the whole-program rules (RPL013-RPL016) and the
 span-aware suppression fix.
 
 The rules run in two modes: bare-source fixtures (``project=None``) use
@@ -268,6 +268,96 @@ class TestRPL015:
         findings = lint_module(project.modules["repro.net.route"],
                                project=project)
         assert "RPL015" not in rules_of(findings)
+
+
+# -- RPL016: ad-hoc query-answer caching -----------------------------------
+
+
+class TestRPL016:
+    def test_bad_cache_subscript_write(self):
+        findings = findings_for(
+            "def answer(q):\n"
+            "    _answer_cache[q.key] = run(q)\n"
+            "    return _answer_cache[q.key]\n")
+        assert rules_of(findings) == ["RPL016"]
+        assert findings[0].line == 2
+
+    def test_bad_memo_setdefault(self):
+        findings = findings_for(
+            "class Engine:\n"
+            "    def answer(self, q):\n"
+            "        return self._memo.setdefault(q.key, run(q))\n")
+        assert rules_of(findings) == ["RPL016"]
+
+    def test_bad_cache_update(self):
+        findings = findings_for(
+            "def warm(queries):\n"
+            "    query_cache.update({q.key: run(q) for q in queries})\n")
+        assert rules_of(findings) == ["RPL016"]
+
+    def test_good_cache_directory_usage(self):
+        # The sanctioned path: method calls on a CacheDirectory, no
+        # subscript writes into a dict.
+        assert findings_for(
+            "def answer(engine, q):\n"
+            "    hit = engine.cache.lookup(q.handler, q.restriction)\n"
+            "    engine.cache.store(q.handler, q.restriction, hit)\n"
+            "    return hit\n") == []
+
+    def test_good_non_cache_container(self):
+        assert findings_for(
+            "def tally(outcomes):\n"
+            "    counts = {}\n"
+            "    counts['done'] = len(outcomes)\n"
+            "    return counts\n") == []
+
+    def test_good_cache_read_is_fine(self):
+        assert findings_for(
+            "def peek(q):\n"
+            "    return _answer_cache.get(q.key)\n") == []
+
+    def test_sanctioned_modules_exempt(self):
+        source = ("def store(key, answer):\n"
+                  "    _cache[key] = answer\n")
+        assert findings_for(
+            source, virtual_path="src/repro/net/resultcache.py") == []
+        assert findings_for(
+            source, virtual_path="src/repro/common/store.py") == []
+        assert findings_for(
+            source, virtual_path="src/repro/baselines/speerto.py") == []
+
+    def test_out_of_sim_scope_without_project(self):
+        assert findings_for(
+            "def remember(k, v):\n"
+            "    _cache[k] = v\n",
+            virtual_path="src/repro/analysis_tools/x.py") == []
+
+    def test_project_reachability_extends_the_scope(self):
+        # Same widening contract as RPL013: an obs module outside every
+        # sim prefix is checked once the call graph ties it to an
+        # engine entry point, and an unconnected twin stays exempt.
+        sources = {
+            "src/repro/core/framework.py": (
+                "from repro.obs.hot import cached\n"
+                "def run_ripple(q):\n"
+                "    return cached(q)\n"),
+            "src/repro/obs/hot.py": (
+                "_cache = {}\n"
+                "def cached(q):\n"
+                "    _cache[q] = q\n"
+                "    return _cache[q]\n"),
+            "src/repro/obs/cold.py": (
+                "_cache = {}\n"
+                "def unconnected(q):\n"
+                "    _cache[q] = q\n"),
+        }
+        project = project_from(sources)
+        hot = lint_module(project.modules["repro.obs.hot"],
+                          project=project)
+        cold = lint_module(project.modules["repro.obs.cold"],
+                           project=project)
+        assert "RPL016" in rules_of(hot)
+        assert "RPL016" not in rules_of(cold)
 
 
 # -- span-aware suppression ------------------------------------------------

@@ -1,0 +1,288 @@
+"""Result-cache soundness: warm == cold, exact invalidation, semantic reuse.
+
+The cache's one contract is that a warm answer is byte-identical to the
+answer the cold run would have produced *right now* — across exact hits,
+semantic seeding, store mutations, zone splits/merges, and crash
+promotions.  Every test here reduces to that comparison; the hypothesis
+sweep at the bottom pins it across the overlay × handler matrix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (Frustum, FrustumRegion, LinearScore, RangeHandler,
+                   Rect, RectRegion, SkylineHandler, TopKHandler,
+                   run_ripple)
+from repro.net.context import QueryResult, QueryStats
+from repro.net.resultcache import (CacheDirectory, CacheLookup,
+                                   handler_fingerprint, region_fingerprint)
+from repro.net.scheduler import QueryCompleted, QueryEngine
+from repro.overlays.replication import ReplicaDirectory
+
+from tests.netlib import DIMS, ENGINE_CASES, OVERLAYS, handlers_for, \
+    midas_network
+
+
+def run_cold(overlay, handler, restriction=None, *, strict=True, r=0):
+    restriction = overlay.domain() if restriction is None else restriction
+    return run_ripple(overlay.peers()[0], handler, r,
+                      restriction=restriction, strict=strict)
+
+
+def run_warm(overlay, cache, handler, restriction=None, *,
+             strict=True, r=0):
+    """One query through an engine wired to ``cache``; its outcome."""
+    restriction = overlay.domain() if restriction is None else restriction
+    engine = QueryEngine(capacity=2, cache=cache)
+    job = engine.submit(overlay.peers()[0], handler, r,
+                        restriction=restriction, strict=strict)
+    outcome = engine.run()[job]
+    assert isinstance(outcome, QueryCompleted)
+    return outcome
+
+
+# -- fingerprints -----------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_structurally_equal_handlers_share_a_key(self):
+        # The workload generator builds a fresh handler per arrival;
+        # value equality (not object identity) must key the cache.
+        a = TopKHandler(LinearScore([1.0, 2.0]), 4)
+        b = TopKHandler(LinearScore([1.0, 2.0]), 4)
+        assert a is not b
+        assert handler_fingerprint(a) == handler_fingerprint(b)
+
+    def test_different_k_different_key(self):
+        fn = LinearScore([1.0, 1.0])
+        assert handler_fingerprint(TopKHandler(fn, 4)) \
+            != handler_fingerprint(TopKHandler(fn, 8))
+
+    def test_multi_round_handler_uncacheable(self):
+        diversify = handlers_for(2, third="diversify")[2]
+        assert handler_fingerprint(diversify) is None
+
+    def test_frustum_region_uncacheable(self):
+        # CAN link restrictions are frusta with conservative covers; two
+        # issues of the "same" query may differ hop-for-hop, so no key.
+        frustum = Frustum(axis=0, base=Rect((0.0, 0.0), (0.0, 1.0)),
+                          top=Rect((0.5, 0.2), (0.5, 0.8)))
+        assert region_fingerprint(FrustumRegion(frustum)) is None
+
+    def test_rect_and_arc_regions_cacheable(self):
+        for kind in ("midas", "chord"):
+            overlay = ENGINE_CASES[kind][0](3)
+            assert region_fingerprint(overlay.domain()) is not None
+
+
+# -- exact reuse ------------------------------------------------------------
+
+
+class TestExactReuse:
+    @pytest.mark.parametrize("kind", ["midas", "chord", "skipgraph"])
+    def test_warm_is_bit_identical_and_free(self, kind):
+        build, dims, strict = ENGINE_CASES[kind]
+        overlay = build(7)
+        cache = CacheDirectory(overlay)
+        for handler in handlers_for(dims):
+            cold = run_cold(overlay, handler, strict=strict)
+            first = run_warm(overlay, cache, handler, strict=strict)
+            second = run_warm(overlay, cache, handler, strict=strict)
+            assert first.answer == cold.answer
+            assert second.answer == cold.answer
+            # The exact hit ran nothing: empty stats, no messages.
+            assert second.stats == QueryStats()
+        assert cache.hits == len(handlers_for(dims))
+        assert cache.messages_saved > 0
+
+    def test_partial_answers_are_refused(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 4)
+        partial = QueryResult([], QueryStats(completeness=0.5))
+        peer_ids = [p.peer_id for p in overlay.peers()[:2]]
+        assert not cache.store(handler, overlay.domain(), partial, peer_ids)
+        replayed = QueryResult([], QueryStats(replica_reads=1))
+        assert not cache.store(handler, overlay.domain(), replayed, peer_ids)
+        assert len(cache) == 0
+
+    def test_untracked_evidence_is_refused(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 4)
+        ok = QueryResult([], QueryStats())
+        assert not cache.store(handler, overlay.domain(), ok, ["no-such"])
+        assert not cache.store(handler, overlay.domain(), ok, [])
+
+    def test_capacity_evicts_oldest_first(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay, capacity=1)
+        first = RangeHandler(Rect((0.0, 0.0), (0.4, 0.4)))
+        second = RangeHandler(Rect((0.5, 0.5), (0.9, 0.9)))
+        run_warm(overlay, cache, first)
+        assert len(cache) == 1
+        run_warm(overlay, cache, second)
+        assert len(cache) == 1
+        assert cache.lookup(second, overlay.domain()).is_exact
+        assert not cache.lookup(first, overlay.domain()).is_exact
+
+
+# -- invalidation -----------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_store_mutation_drops_exactly_the_affected_entries(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay, semantic=False)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 4)
+        run_warm(overlay, cache, handler)
+        (entry,) = cache._entries.values()
+        touched_ids = {peer_id for peer_id, _ in entry.touched}
+        untouched = next(p for p in overlay.peers()
+                         if p.peer_id not in touched_ids)
+        # Mutating a peer the query never read keeps the entry hot...
+        untouched.store.insert(np.array([0.5, 0.5]))
+        assert cache.lookup(handler, overlay.domain()).is_exact
+        # ...mutating a touched peer drops it, and the re-run reflects
+        # the new tuple (warm == the *new* cold, not the stale answer).
+        target = next(p for p in overlay.peers()
+                      if p.peer_id in touched_ids)
+        target.store.insert(np.array([0.99, 0.99]))
+        assert not cache.lookup(handler, overlay.domain()).is_exact
+        warm = run_warm(overlay, cache, handler)
+        assert warm.answer == run_cold(overlay, handler).answer
+        assert warm.stats.total_messages > 0
+
+    def test_split_then_merge_stays_sound(self):
+        overlay = midas_network(7, peers=12)
+        cache = CacheDirectory(overlay)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 4)
+        run_warm(overlay, cache, handler)
+        overlay.grow_to(16)          # splits: extract() + epoch bump
+        warm = run_warm(overlay, cache, handler)
+        assert warm.answer == run_cold(overlay, handler).answer
+        overlay.shrink_to(12)        # merges: take_all() + bulk_load()
+        warm = run_warm(overlay, cache, handler)
+        assert warm.answer == run_cold(overlay, handler).answer
+
+    def test_crash_promotion_invalidates_via_repair(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay, semantic=False)
+        replicas = ReplicaDirectory(overlay, copies=1)
+        cache.watch_replicas(replicas)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 4)
+        run_warm(overlay, cache, handler)
+        (entry,) = cache._entries.values()
+        dead_id = entry.touched[0][0]
+        replicas.repair(dead_id, lambda peer_id: True)
+        assert len(cache) == 0
+        assert not cache.lookup(handler, overlay.domain()).is_exact
+
+    def test_engine_wires_the_promotion_hook(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        replicas = ReplicaDirectory(overlay, copies=1)
+        fired = []
+        original = cache.invalidate_peer
+        cache.invalidate_peer = lambda pid: (fired.append(pid),
+                                             original(pid))
+        QueryEngine(capacity=2, cache=cache, replicas=replicas)
+        replicas.repair(overlay.peers()[0].peer_id, lambda peer_id: True)
+        assert fired == [overlay.peers()[0].peer_id]
+
+
+# -- semantic reuse ---------------------------------------------------------
+
+
+class TestSemanticReuse:
+    def test_topk_prefix_of_larger_k(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        fn = LinearScore([1.0, 1.0])
+        run_warm(overlay, cache, TopKHandler(fn, 8))
+        smaller = TopKHandler(fn, 4)
+        warm = run_warm(overlay, cache, smaller)
+        assert warm.answer == run_cold(overlay, smaller).answer
+        assert warm.stats == QueryStats()   # served without running
+        assert cache.semantic_hits == 1
+
+    def test_topk_superset_region_seeds_the_floor(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 8)
+        run_warm(overlay, cache, handler)
+        # Top scores cluster at the maximizing corner; a corner-hugging
+        # sub-box retains >= k cached candidates, so the floor seeds.
+        sub = RectRegion(Rect((0.3, 0.3), (1.0, 1.0)))
+        cold = run_cold(overlay, handler, sub)
+        warm = run_warm(overlay, cache, handler, sub)
+        assert warm.answer == cold.answer
+        assert cache.semantic_hits == 1
+        assert warm.stats.total_messages <= cold.stats.total_messages
+
+    def test_skyline_subset_region_seeds_members(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        handler = SkylineHandler(2)
+        run_warm(overlay, cache, handler)
+        sub = RectRegion(Rect((0.0, 0.0), (0.6, 0.6)))
+        cold = run_cold(overlay, handler, sub)
+        warm = run_warm(overlay, cache, handler, sub)
+        assert warm.answer == cold.answer
+        assert cache.semantic_hits == 1
+
+    def test_range_subbox_is_a_pure_filter(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        run_warm(overlay, cache, RangeHandler(Rect((0.0, 0.0), (0.9, 0.9))))
+        narrower = RangeHandler(Rect((0.2, 0.2), (0.7, 0.7)))
+        warm = run_warm(overlay, cache, narrower)
+        assert warm.answer == run_cold(overlay, narrower).answer
+        assert warm.stats == QueryStats()   # exact: no network at all
+        assert cache.semantic_hits == 1
+
+    def test_approximate_topk_never_reuses_semantically(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        fn = LinearScore([1.0, 1.0])
+        run_warm(overlay, cache, TopKHandler(fn, 8))
+        approx = TopKHandler(fn, 4, epsilon=0.1)
+        warm = run_warm(overlay, cache, approx)
+        assert cache.semantic_hits == 0
+        assert warm.answer == run_cold(overlay, approx).answer
+
+    def test_seed_lookup_reports_kind(self):
+        overlay = midas_network(7)
+        cache = CacheDirectory(overlay)
+        handler = TopKHandler(LinearScore([1.0, 1.0]), 8)
+        run_warm(overlay, cache, handler)
+        found = cache.lookup(
+            handler, RectRegion(Rect((0.3, 0.3), (1.0, 1.0))))
+        assert isinstance(found, CacheLookup)
+        assert found.kind == "seed"
+        assert not found.is_exact
+
+
+# -- the matrix property ----------------------------------------------------
+
+
+CACHEABLE = [kind for kind in OVERLAYS if kind != "can"]
+
+
+class TestWarmColdMatrix:
+    @settings(max_examples=12, deadline=None)
+    @given(kind=st.sampled_from(CACHEABLE),
+           family=st.integers(min_value=0, max_value=2),
+           seed=st.integers(min_value=0, max_value=5))
+    def test_warm_equals_cold_everywhere(self, kind, family, seed):
+        build, dims, strict = ENGINE_CASES[kind]
+        overlay = build(seed, peers=12, tuples=80)
+        handler = handlers_for(dims)[family]
+        cold = run_cold(overlay, handler, strict=strict)
+        cache = CacheDirectory(overlay)
+        first = run_warm(overlay, cache, handler, strict=strict)
+        second = run_warm(overlay, cache, handler, strict=strict)
+        assert first.answer == cold.answer
+        assert second.answer == cold.answer
+        assert second.stats == QueryStats()
